@@ -1,0 +1,207 @@
+// Package godsm's top-level benchmarks regenerate every artifact of the
+// paper's evaluation as testing.B benchmarks, one per table and figure:
+//
+//	BenchmarkFig1   — baseline execution-time breakdown
+//	BenchmarkFig2   — prefetching vs original
+//	BenchmarkTable1 — prefetching statistics
+//	BenchmarkFig3   — outcome of the original remote misses
+//	BenchmarkFig4   — multithreading with 2/4/8 threads
+//	BenchmarkTable2 — multithreading statistics
+//	BenchmarkFig5   — combined configurations
+//
+// Wall-clock ns/op measures the simulator; the paper's quantities are
+// attached as custom metrics in virtual microseconds (vus) or percentages.
+// Benchmarks run at unit scale so the full suite stays fast; use
+// cmd/dsmbench for small- or paper-scale runs.
+package godsm
+
+import (
+	"fmt"
+	"testing"
+
+	"godsm/dsm"
+	"godsm/internal/apps"
+	"godsm/internal/harness"
+	"godsm/internal/sim"
+)
+
+const benchProcs = 8
+
+func benchSession() *harness.Session {
+	return harness.NewSession(harness.Options{Procs: benchProcs, Scale: apps.Unit})
+}
+
+// runOnce simulates app/variant once and returns the report.
+func runOnce(b *testing.B, s *harness.Session, app string, v harness.Variant) *dsm.Report {
+	b.Helper()
+	rep, err := s.Run(app, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// fresh runs app/variant without the session cache (for timing loops).
+func fresh(b *testing.B, app string, v harness.Variant) *dsm.Report {
+	b.Helper()
+	s := benchSession()
+	return runOnce(b, s, app, v)
+}
+
+func vus(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+func appNames() []string {
+	names := make([]string, len(apps.All))
+	for i, a := range apps.All {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// BenchmarkFig1 regenerates Figure 1: the baseline breakdown per app.
+func BenchmarkFig1(b *testing.B) {
+	for _, app := range appNames() {
+		b.Run(app, func(b *testing.B) {
+			var rep *dsm.Report
+			for i := 0; i < b.N; i++ {
+				rep = fresh(b, app, harness.VarO)
+			}
+			norm := rep.Breakdown.Normalized(rep.Elapsed)
+			b.ReportMetric(vus(rep.Elapsed), "vus-elapsed")
+			b.ReportMetric(norm[dsm.CatBusy], "%busy")
+			b.ReportMetric(norm[dsm.CatDSM], "%dsm")
+			b.ReportMetric(norm[dsm.CatMemIdle], "%mem-idle")
+			b.ReportMetric(norm[dsm.CatSyncIdle], "%sync-idle")
+		})
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: prefetching speedup per app.
+func BenchmarkFig2(b *testing.B) {
+	for _, app := range appNames() {
+		b.Run(app, func(b *testing.B) {
+			var repO, repP *dsm.Report
+			for i := 0; i < b.N; i++ {
+				s := benchSession()
+				repO = runOnce(b, s, app, harness.VarO)
+				repP = runOnce(b, s, app, harness.VarP)
+			}
+			b.ReportMetric(repP.Speedup(repO), "speedup-P")
+			b.ReportMetric(100*float64(repP.Elapsed)/float64(repO.Elapsed), "%norm-P")
+			b.ReportMetric(repP.Breakdown.Normalized(repO.Elapsed)[dsm.CatPrefetchOv], "%pf-overhead")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: prefetching statistics per app.
+func BenchmarkTable1(b *testing.B) {
+	for _, app := range appNames() {
+		b.Run(app, func(b *testing.B) {
+			var repO, repP *dsm.Report
+			for i := 0; i < b.N; i++ {
+				s := benchSession()
+				repO = runOnce(b, s, app, harness.VarO)
+				repP = runOnce(b, s, app, harness.VarP)
+			}
+			b.ReportMetric(repP.UnnecessaryPfPct(), "%unnecessary")
+			b.ReportMetric(repP.CoverageFactor(), "%coverage")
+			b.ReportMetric(float64(repO.TotalMisses()), "misses-O")
+			b.ReportMetric(float64(repP.TotalMisses()), "misses-P")
+			b.ReportMetric(vus(repO.AvgMissLatency()), "vus-avgmiss-O")
+			b.ReportMetric(vus(repP.AvgMissLatency()), "vus-avgmiss-P")
+			b.ReportMetric(float64(repO.BytesTotal)/1024, "traffic-KB-O")
+			b.ReportMetric(float64(repP.BytesTotal)/1024, "traffic-KB-P")
+		})
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: per-app breakdown of what happened to
+// the original remote misses under prefetching.
+func BenchmarkFig3(b *testing.B) {
+	for _, app := range appNames() {
+		b.Run(app, func(b *testing.B) {
+			var rep *dsm.Report
+			for i := 0; i < b.N; i++ {
+				rep = fresh(b, app, harness.VarP)
+			}
+			n := rep.Sum()
+			tot := float64(n.FaultNoPf + n.FaultPfHit + n.FaultPfLate + n.FaultPfInvalided)
+			if tot == 0 {
+				tot = 1
+			}
+			b.ReportMetric(100*float64(n.FaultNoPf)/tot, "%no-pf")
+			b.ReportMetric(100*float64(n.FaultPfInvalided)/tot, "%pf-invalidated")
+			b.ReportMetric(100*float64(n.FaultPfLate)/tot, "%pf-late")
+			b.ReportMetric(100*float64(n.FaultPfHit)/tot, "%pf-hit")
+		})
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: multithreading configurations.
+func BenchmarkFig4(b *testing.B) {
+	for _, app := range appNames() {
+		for _, v := range []harness.Variant{harness.Var2T, harness.Var4T, harness.Var8T} {
+			b.Run(fmt.Sprintf("%s/%s", app, v), func(b *testing.B) {
+				var repO, rep *dsm.Report
+				for i := 0; i < b.N; i++ {
+					s := benchSession()
+					repO = runOnce(b, s, app, harness.VarO)
+					rep = runOnce(b, s, app, v)
+				}
+				b.ReportMetric(100*float64(rep.Elapsed)/float64(repO.Elapsed), "%norm")
+				b.ReportMetric(vus(rep.Elapsed), "vus-elapsed")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: multithreading statistics.
+func BenchmarkTable2(b *testing.B) {
+	for _, app := range appNames() {
+		for _, v := range []harness.Variant{harness.VarO, harness.Var2T, harness.Var4T, harness.Var8T} {
+			b.Run(fmt.Sprintf("%s/%s", app, v), func(b *testing.B) {
+				var rep *dsm.Report
+				for i := 0; i < b.N; i++ {
+					rep = fresh(b, app, v)
+				}
+				n := rep.Sum()
+				b.ReportMetric(vus(rep.AvgStall()), "vus-avg-stall")
+				b.ReportMetric(vus(rep.AvgRunLength()), "vus-avg-run")
+				b.ReportMetric(float64(rep.MsgsTotal), "messages")
+				b.ReportMetric(float64(rep.BytesTotal)/1024, "volume-KB")
+				b.ReportMetric(float64(n.Misses), "remote-misses")
+				b.ReportMetric(float64(n.RemoteLockAcqs), "remote-locks")
+				b.ReportMetric(float64(n.BarrierArrives), "barrier-arrivals")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: the combined configurations.
+func BenchmarkFig5(b *testing.B) {
+	variants := []harness.Variant{
+		harness.VarP, harness.Var2TP, harness.Var4TP, harness.Var8TP,
+	}
+	for _, app := range appNames() {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/%s", app, v), func(b *testing.B) {
+				var repO, rep *dsm.Report
+				for i := 0; i < b.N; i++ {
+					s := benchSession()
+					repO = runOnce(b, s, app, harness.VarO)
+					rep = runOnce(b, s, app, v)
+				}
+				b.ReportMetric(100*float64(rep.Elapsed)/float64(repO.Elapsed), "%norm")
+			})
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// protocol events per wall second on a communication-heavy workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := fresh(b, "SOR", harness.VarO)
+		b.ReportMetric(float64(rep.MsgsTotal), "messages")
+	}
+}

@@ -1,0 +1,77 @@
+// Command dsmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dsmbench [-exp all|fig1|fig2|table1|fig3|fig4|table2|fig5]
+//	         [-scale unit|small|paper] [-procs N] [-apps FFT,SOR,...]
+//	         [-verify]
+//
+// Each experiment prints the same rows/series as the corresponding artifact
+// in "Comparative Evaluation of Latency Tolerance Techniques for Software
+// Distributed Shared Memory" (HPCA-4, 1998). The default scale is "small"
+// (scaled-down inputs, minutes of wall time); "paper" uses the paper's
+// input sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"godsm/internal/apps"
+	"godsm/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5)")
+	scale := flag.String("scale", "small", "input scale: unit, small or paper")
+	procs := flag.Int("procs", 8, "number of simulated processors")
+	appList := flag.String("apps", "", "comma-separated application subset (default all)")
+	verify := flag.Bool("verify", false, "verify application output against sequential goldens")
+	flag.Parse()
+
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify}
+	if *appList != "" {
+		for _, a := range strings.Split(*appList, ",") {
+			name := strings.TrimSpace(a)
+			if _, err := apps.ByName(name); err != nil {
+				fatal(err)
+			}
+			opt.Apps = append(opt.Apps, name)
+		}
+	}
+	session := harness.NewSession(opt)
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.Experiments
+	} else {
+		e, err := harness.ByID(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		selected = []harness.Experiment{e}
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := e.Run(session, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("[%s done in %.1fs wall]\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmbench:", err)
+	os.Exit(1)
+}

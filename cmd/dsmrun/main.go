@@ -1,0 +1,136 @@
+// Command dsmrun runs a single application under one explicit
+// configuration and prints its full measurement report — the quickest way
+// to explore one point of the design space.
+//
+// Usage:
+//
+//	dsmrun -app SOR [-procs 8] [-threads 1] [-prefetch]
+//	       [-switch-miss] [-switch-sync] [-scale unit|small|paper]
+//	       [-throttle N] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godsm/dsm"
+	"godsm/internal/apps"
+	"godsm/internal/netsim"
+	"godsm/internal/proto"
+	"godsm/internal/sim"
+)
+
+func main() {
+	app := flag.String("app", "SOR", "application name (FFT, LU-NCONT, LU-CONT, OCEAN, RADIX, SOR, WATER-NSQ, WATER-SP)")
+	procs := flag.Int("procs", 8, "simulated processors")
+	threads := flag.Int("threads", 1, "user-level threads per processor")
+	prefetch := flag.Bool("prefetch", false, "execute inserted prefetches")
+	swMiss := flag.Bool("switch-miss", false, "switch threads on remote misses")
+	swSync := flag.Bool("switch-sync", false, "switch threads on synchronization stalls")
+	scale := flag.String("scale", "small", "input scale: unit, small or paper")
+	throttle := flag.Int("throttle", 0, "drop every k-th prefetch (0 = off)")
+	verify := flag.Bool("verify", false, "verify output against the sequential golden")
+	kinds := flag.Bool("kinds", false, "print per-message-kind traffic table")
+	traceN := flag.Int("trace", 0, "print the last N protocol events (0 = off)")
+	flag.Parse()
+
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := apps.ByName(*app)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.ThreadsPerProc = *threads
+	cfg.Prefetch = *prefetch
+	cfg.SwitchOnMiss = *swMiss
+	cfg.SwitchOnSync = *swSync || *threads > 1
+	cfg.ThrottlePf = *throttle
+
+	sys := dsm.NewSystem(cfg)
+
+	// Optional protocol event trace: a ring buffer of the last N events
+	// (twin creation, interval close, notice intake, diff make/apply,
+	// faults, lock and barrier traffic), stamped with virtual time.
+	var ring []string
+	if *traceN > 0 {
+		proto.Trace = func(node int, format string, args ...any) {
+			ev := fmt.Sprintf("%10dus n%d %s",
+				sys.K.Now()/sim.Microsecond, node, fmt.Sprintf(format, args...))
+			ring = append(ring, ev)
+			if len(ring) > *traceN {
+				ring = ring[1:]
+			}
+		}
+		defer func() { proto.Trace = nil }()
+	}
+
+	inst := spec.Build(sys, apps.Options{Scale: sc, Verify: *verify})
+	rep := sys.Run(inst.Run)
+	if err := inst.Err(); err != nil {
+		fatal(err)
+	}
+	printReport(*app, rep)
+	if *kinds {
+		printKinds(sys)
+	}
+	if *traceN > 0 {
+		fmt.Printf("last %d protocol events:\n", len(ring))
+		for _, ev := range ring {
+			fmt.Println(" ", ev)
+		}
+	}
+}
+
+// printKinds prints the per-message-kind traffic table (whole run,
+// including any post-measurement verification traffic).
+func printKinds(sys *dsm.System) {
+	fmt.Println("traffic by message kind:")
+	for k := netsim.Kind(0); k < netsim.MaxKinds; k++ {
+		msgs, bytes := sys.Net.KindStats(k)
+		if msgs == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %8d msgs %10d KB\n", proto.KindName(k), msgs, bytes/1024)
+	}
+}
+
+func printReport(app string, r *dsm.Report) {
+	fmt.Printf("%s: %d procs x %d threads, elapsed %d us\n",
+		app, r.Procs, r.Threads, r.Elapsed/sim.Microsecond)
+	fmt.Println("breakdown (average over processors):")
+	for _, c := range []sim.Category{dsm.CatBusy, dsm.CatDSM, dsm.CatMemIdle,
+		dsm.CatSyncIdle, dsm.CatPrefetchOv, dsm.CatMTOv} {
+		pct := r.Breakdown.Normalized(r.Elapsed)[c]
+		fmt.Printf("  %-24s %8d us  %5.1f%%\n", c, r.Breakdown.Cat[c]/sim.Microsecond, pct)
+	}
+	n := r.Sum()
+	fmt.Printf("memory:   %d remote misses (avg %d us), %d prefetch-cache hits\n",
+		n.Misses, r.AvgMissLatency()/sim.Microsecond, n.CacheHits)
+	fmt.Printf("sync:     %d remote lock acquires, %d local, %d barrier arrivals\n",
+		n.RemoteLockAcqs, n.LocalLockAcqs, n.BarrierArrives)
+	fmt.Printf("traffic:  %d messages, %d KB, %d drops\n",
+		r.MsgsTotal, r.BytesTotal/1024, r.Drops)
+	if n.PfCalls > 0 {
+		fmt.Printf("prefetch: %d calls (%.1f%% unnecessary), %d messages, coverage %.1f%%\n",
+			n.PfCalls, r.UnnecessaryPfPct(), n.PfMsgs, r.CoverageFactor())
+		fmt.Printf("          outcomes: %d hit, %d late, %d invalidated, %d not prefetched\n",
+			n.FaultPfHit, n.FaultPfLate, n.FaultPfInvalided, n.FaultNoPf)
+	}
+	if r.Threads > 1 {
+		fmt.Printf("threads:  %d context switches, avg run length %d us, avg stall %d us\n",
+			n.CtxSwitches, r.AvgRunLength()/sim.Microsecond, r.AvgStall()/sim.Microsecond)
+	}
+	fmt.Printf("protocol: %d twins, %d diffs made, %d diffs applied\n",
+		n.TwinsMade, n.DiffsMade, n.DiffsApplied)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmrun:", err)
+	os.Exit(1)
+}

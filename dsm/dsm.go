@@ -1,0 +1,104 @@
+// Package dsm is the public API of godsm, a deterministic simulation of a
+// TreadMarks-style software distributed shared memory system with the
+// latency tolerance techniques studied in Mowry, Chan & Lo, "Comparative
+// Evaluation of Latency Tolerance Techniques for Software Distributed
+// Shared Memory" (HPCA-4, 1998): software-controlled non-binding
+// prefetching and user-level multithreading, individually and combined.
+//
+// A program builds a System from a Config, allocates shared memory with the
+// system allocator, and calls Run with a thread body. The body receives an
+// Env — the thread's handle for shared-memory accesses, synchronization,
+// prefetching, and computation charging — and executes on every simulated
+// thread (Procs × ThreadsPerProc of them), SPLASH-2 style. Run returns a
+// Report with the paper's measurements: execution-time breakdown, miss and
+// synchronization stalls, prefetch effectiveness, and traffic.
+//
+// Minimal example:
+//
+//	cfg := dsm.DefaultConfig()
+//	cfg.Procs = 4
+//	sys := dsm.NewSystem(cfg)
+//	counter := sys.Alloc.Alloc(8, 8)
+//	report := sys.Run(func(e *dsm.Env) {
+//		e.Lock(0)
+//		e.WriteI64(counter, e.ReadI64(counter)+1)
+//		e.Unlock(0)
+//		e.Barrier(0)
+//	})
+//
+// All simulation is in virtual time: results are bit-for-bit reproducible
+// and independent of the host machine.
+package dsm
+
+import (
+	"godsm/internal/core"
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+	"godsm/internal/proto"
+	"godsm/internal/sim"
+	"godsm/internal/stats"
+)
+
+// Time is virtual time in nanoseconds.
+type Time = sim.Time
+
+// Convenient virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Addr is an address in the shared virtual address space.
+type Addr = pagemem.Addr
+
+// PageSize is the coherence unit (4 KB).
+const PageSize = pagemem.PageSize
+
+// Env is a simulated thread's handle on the system. See the core package
+// for the full method set: Read*/Write* accessors, Lock/Unlock, Barrier,
+// Prefetch/PrefetchRange, Compute, and identification helpers.
+type Env = core.Env
+
+// Config selects the cluster size, latency-tolerance mode, network
+// parameters and protocol cost model.
+type Config = core.Config
+
+// System is one simulated cluster; create with NewSystem, then Run once.
+type System = core.System
+
+// Report is the result of a run: execution-time breakdown and all of the
+// paper's statistics.
+type Report = stats.Report
+
+// Breakdown is a processor-time breakdown in the paper's categories.
+type Breakdown = stats.Breakdown
+
+// NodeStats are one processor's raw counters.
+type NodeStats = stats.Node
+
+// Processor-time categories (Figure 1's legend).
+const (
+	CatBusy       = sim.CatBusy
+	CatDSM        = sim.CatDSM
+	CatMemIdle    = sim.CatMemIdle
+	CatSyncIdle   = sim.CatSyncIdle
+	CatPrefetchOv = sim.CatPrefetchOv
+	CatMTOv       = sim.CatMTOv
+)
+
+// NumCategories is the number of processor-time categories.
+const NumCategories = int(sim.NumCategories)
+
+// DefaultConfig returns the paper's baseline platform: 8 processors on a
+// 155 Mbps ATM LAN, one thread per processor, prefetching off.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSystem builds a simulated cluster.
+func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
+
+// DefaultNetConfig returns the calibrated ATM network parameters.
+func DefaultNetConfig() netsim.Config { return netsim.DefaultConfig() }
+
+// DefaultCosts returns the calibrated protocol CPU cost model.
+func DefaultCosts() proto.Costs { return proto.DefaultCosts() }

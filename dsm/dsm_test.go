@@ -1,0 +1,151 @@
+package dsm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"godsm/dsm"
+)
+
+// TestPublicAPISurface exercises the whole public API through the facade:
+// allocation, typed accessors, locks, barriers, prefetch, compute,
+// measurement, and the report accessors.
+func TestPublicAPISurface(t *testing.T) {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Prefetch = true
+	sys := dsm.NewSystem(cfg)
+
+	arr := sys.Alloc.Alloc(8*512, dsm.PageSize)
+	sum := sys.Alloc.Alloc(8, 8)
+	flag := sys.Alloc.Alloc(4, 4)
+
+	rep := sys.Run(func(e *dsm.Env) {
+		if e.ThreadID() == 0 {
+			for i := 0; i < 512; i++ {
+				e.WriteF64(arr+dsm.Addr(8*i), float64(i))
+			}
+			e.WriteU32(flag, 7)
+			e.WriteI64(sum, 0)
+		}
+		e.Barrier(0)
+
+		e.PrefetchRange(arr, 8*512)
+		e.Compute(50 * dsm.Microsecond)
+
+		var s float64
+		for i := e.ThreadID(); i < 512; i += e.NumThreads() {
+			s += e.ReadF64(arr + dsm.Addr(8*i))
+		}
+		e.Lock(3)
+		e.WriteI64(sum, e.ReadI64(sum)+int64(s))
+		e.Unlock(3)
+		e.Barrier(1)
+
+		if e.ThreadID() == 0 {
+			e.EndMeasurement()
+			if got := e.ReadI64(sum); got != 511*512/2 {
+				panic(fmt.Sprintf("sum = %d", got))
+			}
+			if e.ReadU32(flag) != 7 {
+				panic("flag lost")
+			}
+		}
+		e.Barrier(2)
+	})
+
+	if rep.Procs != 4 || rep.Threads != 1 {
+		t.Fatalf("report geometry %d/%d", rep.Procs, rep.Threads)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if rep.MsgsTotal == 0 || rep.BytesTotal == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	// Per-processor breakdowns partition time exactly; the averaged
+	// breakdown may round down by up to one unit per category.
+	for p, b := range rep.PerProc {
+		if got := b.Total(); got != rep.Elapsed {
+			t.Fatalf("proc %d breakdown sums to %d, elapsed %d", p, got, rep.Elapsed)
+		}
+	}
+	if got := rep.Breakdown.Total(); got > rep.Elapsed || got < rep.Elapsed-dsm.Time(dsm.NumCategories) {
+		t.Fatalf("average breakdown sums to %d, elapsed %d", got, rep.Elapsed)
+	}
+	if rep.Sum().PfCalls == 0 {
+		t.Fatal("prefetch calls not recorded")
+	}
+}
+
+// TestConfigKnobs: every public knob must be accepted.
+func TestConfigKnobs(t *testing.T) {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = 2
+	cfg.ThreadsPerProc = 2
+	cfg.SwitchOnMiss = true
+	cfg.SwitchOnSync = true
+	cfg.Prefetch = true
+	cfg.ThrottlePf = 2
+	cfg.GCThreshold = 1 << 20
+	cfg.AccessNs = 25
+	cfg.Net = dsm.DefaultNetConfig()
+	cfg.Costs = dsm.DefaultCosts()
+	sys := dsm.NewSystem(cfg)
+	c := sys.Alloc.Alloc(8, 8)
+	rep := sys.Run(func(e *dsm.Env) {
+		e.Lock(0)
+		e.WriteI64(c, e.ReadI64(c)+1)
+		e.Unlock(0)
+		e.Barrier(0)
+	})
+	if rep.Threads != 2 {
+		t.Fatal("threads not applied")
+	}
+}
+
+// ExampleNewSystem demonstrates the minimal godsm program.
+func ExampleNewSystem() {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = 2
+	sys := dsm.NewSystem(cfg)
+	counter := sys.Alloc.Alloc(8, 8)
+	var final int64
+	sys.Run(func(e *dsm.Env) {
+		e.Lock(0)
+		e.WriteI64(counter, e.ReadI64(counter)+1)
+		e.Unlock(0)
+		e.Barrier(0)
+		if e.ThreadID() == 0 {
+			final = e.ReadI64(counter)
+		}
+	})
+	fmt.Println(final)
+	// Output: 2
+}
+
+// TestThreadRange checks the public work-splitting helper partitions
+// exactly and balances processors.
+func TestThreadRange(t *testing.T) {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = 4
+	cfg.ThreadsPerProc = 2
+	cfg.SwitchOnSync = true
+	sys := dsm.NewSystem(cfg)
+	covered := make([]bool, 130)
+	sys.Run(func(e *dsm.Env) {
+		lo, hi := e.ThreadRange(len(covered))
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				panic("overlapping ranges")
+			}
+			covered[i] = true
+		}
+		e.Barrier(0)
+	})
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("item %d uncovered", i)
+		}
+	}
+}

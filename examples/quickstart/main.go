@@ -1,0 +1,68 @@
+// Quickstart: a parallel sum over a shared array on a simulated 4-processor
+// software DSM cluster, using locks, barriers and the measurement report.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"godsm/dsm"
+)
+
+func main() {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = 4
+
+	sys := dsm.NewSystem(cfg)
+
+	const n = 64 * 1024
+	data := sys.Alloc.Alloc(8*n, dsm.PageSize) // shared float64 array
+	total := sys.Alloc.Alloc(8, 8)             // shared accumulator
+
+	report := sys.Run(func(e *dsm.Env) {
+		// Thread 0 initializes the shared data; the first barrier
+		// publishes it (and produces the paper's initialization hot-spot
+		// as everyone fetches from processor 0).
+		if e.ThreadID() == 0 {
+			for i := 0; i < n; i++ {
+				e.WriteF64(data+dsm.Addr(8*i), float64(i%100))
+			}
+		}
+		e.Barrier(0)
+
+		// Each thread sums its contiguous chunk.
+		per := n / e.NumThreads()
+		lo := e.ThreadID() * per
+		var sum float64
+		for i := lo; i < lo+per; i++ {
+			sum += e.ReadF64(data + dsm.Addr(8*i))
+			e.Compute(40) // ~40ns of arithmetic per element
+		}
+
+		// Combine under a lock.
+		e.Lock(0)
+		e.WriteF64(total, e.ReadF64(total)+sum)
+		e.Unlock(0)
+		e.Barrier(1)
+
+		if e.ThreadID() == 0 {
+			e.EndMeasurement()
+			want := 0.0
+			for i := 0; i < n; i++ {
+				want += float64(i % 100)
+			}
+			fmt.Printf("total = %.0f (want %.0f)\n", e.ReadF64(total), want)
+		}
+		e.Barrier(2)
+	})
+
+	fmt.Printf("elapsed: %d µs on %d processors\n",
+		report.Elapsed/dsm.Microsecond, report.Procs)
+	fmt.Printf("remote misses: %d (avg %d µs), messages: %d (%d KB)\n",
+		report.TotalMisses(), report.AvgMissLatency()/dsm.Microsecond,
+		report.MsgsTotal, report.BytesTotal/1024)
+	norm := report.Breakdown.Normalized(report.Elapsed)
+	fmt.Printf("breakdown: busy %.0f%%, dsm %.0f%%, mem idle %.0f%%, sync idle %.0f%%\n",
+		norm[dsm.CatBusy], norm[dsm.CatDSM], norm[dsm.CatMemIdle], norm[dsm.CatSyncIdle])
+}

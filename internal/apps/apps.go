@@ -1,0 +1,175 @@
+// Package apps re-implements the paper's eight benchmark applications
+// against the godsm API: FFT, LU-CONT, LU-NCONT, OCEAN, RADIX, SOR,
+// WATER-NSQ and WATER-SP. Each application
+//
+//   - runs real computation through the shared-memory system (so protocol
+//     bugs corrupt results and are caught),
+//   - carries hand-inserted non-binding prefetches guarded by
+//     Env.Prefetching() (executed only in prefetching configurations), and
+//   - verifies its output against a sequential golden implementation when
+//     built with verification enabled.
+//
+// Applications decompose work over Env.NumThreads() workers, so the same
+// code runs single-threaded, multithreaded, and combined configurations.
+package apps
+
+import (
+	"fmt"
+
+	"godsm/dsm"
+)
+
+// Scale selects input sizes.
+type Scale int
+
+// Scales: Unit is for fast unit tests, Small for the default harness runs,
+// Paper for the paper's input sizes (slow).
+const (
+	Unit Scale = iota
+	Small
+	Paper
+)
+
+// String returns the scale's name.
+func (s Scale) String() string {
+	switch s {
+	case Unit:
+		return "unit"
+	case Small:
+		return "small"
+	case Paper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ParseScale converts a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "unit":
+		return Unit, nil
+	case "small":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want unit, small or paper)", s)
+}
+
+// Instance is a built application ready to run on one System.
+type Instance struct {
+	Name string
+	// Run is the thread body passed to System.Run.
+	Run func(*dsm.Env)
+	// Err reports verification failure; call after System.Run returns.
+	// Always nil when built without verification.
+	Err func() error
+}
+
+// Options control application construction.
+type Options struct {
+	Scale  Scale
+	Verify bool // run the golden comparison after the timed region
+}
+
+// Spec names an application and its builder.
+type Spec struct {
+	Name  string
+	Build func(sys *dsm.System, opt Options) *Instance
+}
+
+// All lists the eight applications in the paper's figure order.
+var All = []Spec{
+	{"FFT", BuildFFT},
+	{"LU-NCONT", BuildLUNcont},
+	{"LU-CONT", BuildLUCont},
+	{"OCEAN", BuildOcean},
+	{"RADIX", BuildRadix},
+	{"SOR", BuildSOR},
+	{"WATER-NSQ", BuildWaterNsq},
+	{"WATER-SP", BuildWaterSp},
+}
+
+// ByName returns the named application spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range All {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("unknown application %q", name)
+}
+
+// errBox collects a verification error from inside the thread body. The
+// simulation is strictly sequential (one goroutine at a time), so a plain
+// field suffices.
+type errBox struct{ err error }
+
+func (b *errBox) set(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+func (b *errBox) get() error { return b.err }
+
+// chunk splits n items over parts workers; returns [lo, hi) for worker id.
+// The first n%parts workers get one extra item.
+func chunk(n, parts, id int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = id*base + min(id, rem)
+	hi = lo + base
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// threadChunk splits n items over all worker threads such that processor
+// loads stay balanced regardless of the thread count: items are first
+// chunked over processors, then over each processor's threads, keeping a
+// thread's range contiguous and adjacent to its siblings' (good locality
+// for multithreading, as the paper observes).
+func threadChunk(n int, e *dsm.Env) (lo, hi int) {
+	return threadChunkFor(n, e.NumProcs(), e.NumThreads()/e.NumProcs(), e.ThreadID())
+}
+
+// threadChunkFor is threadChunk for an arbitrary global thread id.
+func threadChunkFor(n, procs, tpp, threadID int) (lo, hi int) {
+	pLo, pHi := chunk(n, procs, threadID/tpp)
+	tLo, tHi := chunk(pHi-pLo, tpp, threadID%tpp)
+	return pLo + tLo, pLo + tHi
+}
+
+// f64s is a shared array of float64.
+type f64s struct{ base dsm.Addr }
+
+func allocF64s(sys *dsm.System, n int) f64s {
+	return f64s{base: sys.Alloc.Alloc(8*n, dsm.PageSize)}
+}
+
+func (a f64s) at(i int) dsm.Addr { return a.base + dsm.Addr(8*i) }
+
+// i64s is a shared array of int64.
+type i64s struct{ base dsm.Addr }
+
+func allocI64s(sys *dsm.System, n int) i64s {
+	return i64s{base: sys.Alloc.Alloc(8*n, dsm.PageSize)}
+}
+
+func (a i64s) at(i int) dsm.Addr { return a.base + dsm.Addr(8*i) }
+
+// Per-operation busy costs (virtual ns), calibrated to a ~133 MHz scalar
+// processor: these are charged on top of the per-access cost for the
+// floating-point and index arithmetic of each inner-loop operation.
+const (
+	costStencil   = 400  // 5-point stencil update (~50 cycles at 133 MHz)
+	costButterfly = 2500 // complex butterfly incl. memory-hierarchy stalls
+	costCmul      = 1200 // complex multiply (twiddle path)
+	costMulSub    = 150  // multiply-subtract in the LU inner loop
+	costKeyOp     = 120  // shared-structure bookkeeping step
+	costRadixOp   = 3000 // radix sort per-key work incl. memory system effects
+	costPairForce = 4000 // pairwise force evaluation (WATER: many flops/pair)
+	costIntegrate = 2000 // per-molecule integration step
+)

@@ -1,0 +1,324 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"godsm/dsm"
+)
+
+// LU: blocked right-looking LU factorization (no pivoting; the matrix is
+// made diagonally dominant) in the two SPLASH-2 variants the paper runs:
+//
+//   - LU-NCONT: the matrix is one row-major n×n array, so a B×B block
+//     spans B non-contiguous row segments (many pages, false sharing at
+//     block boundaries). Paper input: n=1024, B=128.
+//   - LU-CONT: each block is stored contiguously (block-major), so a block
+//     is one dense B²-element region. Paper input: n=1024, B=32.
+//
+// Blocks are assigned to threads in a 2D scatter. Each step k factors the
+// diagonal block, solves the perimeter row/column, and updates the interior
+// (barriers between phases).
+//
+// Prefetch insertion: before updating an owned interior block (i,j), the
+// remote source blocks (i,k) and (k,j) are prefetched; the loop over owned
+// blocks is software-pipelined so block t+1's sources are prefetched while
+// block t computes.
+
+type luParams struct {
+	n, b int
+	cont bool
+}
+
+func luSizes(sc Scale, cont bool) luParams {
+	switch sc {
+	case Unit:
+		if cont {
+			return luParams{n: 64, b: 8, cont: true}
+		}
+		return luParams{n: 64, b: 16}
+	case Small:
+		if cont {
+			return luParams{n: 256, b: 16, cont: true}
+		}
+		return luParams{n: 256, b: 32}
+	default:
+		if cont {
+			return luParams{n: 1024, b: 32, cont: true}
+		}
+		return luParams{n: 1024, b: 128}
+	}
+}
+
+// luInput generates the deterministic diagonally dominant input matrix.
+func luInput(n int) []float64 {
+	rng := rand.New(rand.NewSource(11081998))
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = rng.Float64()
+		}
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+// luLayout maps matrix coordinates to shared addresses.
+type luLayout struct {
+	arr  f64s
+	n, b int
+	cont bool
+}
+
+func (l luLayout) at(i, j int) dsm.Addr {
+	if !l.cont {
+		return l.arr.at(i*l.n + j)
+	}
+	nb := l.n / l.b
+	bi, bj := i/l.b, j/l.b
+	oi, oj := i%l.b, j%l.b
+	return l.arr.at((bi*nb+bj)*l.b*l.b + oi*l.b + oj)
+}
+
+// blockAddr returns the address of the first element of row r within block
+// (I,J), and the number of contiguous elements that follow it in memory.
+func (l luLayout) blockRow(I, J, r int) (dsm.Addr, int) {
+	return l.at(I*l.b+r, J*l.b), l.b
+}
+
+// luOwner computes the 2D-scatter block distribution.
+func luGrid(T int) (pr, pc int) {
+	pr = 1
+	for d := 1; d*d <= T; d++ {
+		if T%d == 0 {
+			pr = d
+		}
+	}
+	return pr, T / pr
+}
+
+// seqBlockLU factors the matrix in place with exactly the block order and
+// inner loops of the parallel version, so results compare bitwise.
+func seqBlockLU(a []float64, n, b int) {
+	nb := n / b
+	get := func(i, j int) float64 { return a[i*n+j] }
+	set := func(i, j int, v float64) { a[i*n+j] = v }
+	for k := 0; k < nb; k++ {
+		luFactorBlock(n, b, k, get, set)
+		for j := k + 1; j < nb; j++ {
+			luSolveRow(n, b, k, j, get, set)
+		}
+		for i := k + 1; i < nb; i++ {
+			luSolveCol(n, b, k, i, get, set)
+		}
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				luUpdate(n, b, k, i, j, get, set)
+			}
+		}
+	}
+}
+
+// luFactorBlock performs the in-place unblocked LU of diagonal block k.
+func luFactorBlock(n, b, k int, get func(int, int) float64, set func(int, int, float64)) {
+	o := k * b
+	for j := 0; j < b; j++ {
+		d := get(o+j, o+j)
+		for i := j + 1; i < b; i++ {
+			l := get(o+i, o+j) / d
+			set(o+i, o+j, l)
+			for jj := j + 1; jj < b; jj++ {
+				set(o+i, o+jj, get(o+i, o+jj)-l*get(o+j, o+jj))
+			}
+		}
+	}
+}
+
+// luSolveRow computes U(k,j) = L(k,k)^-1 A(k,j) (unit lower triangular).
+func luSolveRow(n, b, k, j int, get func(int, int) float64, set func(int, int, float64)) {
+	ro, co := k*b, j*b
+	for c := 0; c < b; c++ {
+		for r := 1; r < b; r++ {
+			v := get(ro+r, co+c)
+			for t := 0; t < r; t++ {
+				v -= get(ro+r, ro+t) * get(ro+t, co+c)
+			}
+			set(ro+r, co+c, v)
+		}
+	}
+}
+
+// luSolveCol computes L(i,k) = A(i,k) U(k,k)^-1.
+func luSolveCol(n, b, k, i int, get func(int, int) float64, set func(int, int, float64)) {
+	ro, co := i*b, k*b
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			v := get(ro+r, co+c)
+			for t := 0; t < c; t++ {
+				v -= get(ro+r, co+t) * get(co+t, co+c)
+			}
+			set(ro+r, co+c, v/get(co+c, co+c))
+		}
+	}
+}
+
+// luUpdate computes A(i,j) -= L(i,k) U(k,j).
+func luUpdate(n, b, k, i, j int, get func(int, int) float64, set func(int, int, float64)) {
+	io, jo, ko := i*b, j*b, k*b
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			v := get(io+r, jo+c)
+			for t := 0; t < b; t++ {
+				v -= get(io+r, ko+t) * get(ko+t, jo+c)
+			}
+			set(io+r, jo+c, v)
+		}
+	}
+}
+
+func buildLU(sys *dsm.System, opt Options, cont bool) *Instance {
+	name := "LU-NCONT"
+	if cont {
+		name = "LU-CONT"
+	}
+	p := luSizes(opt.Scale, cont)
+	n, b := p.n, p.b
+	nb := n / b
+	lay := luLayout{arr: allocF64s(sys, n*n), n: n, b: b, cont: cont}
+	input := luInput(n)
+	var box errBox
+
+	run := func(e *dsm.Env) {
+		T := e.NumThreads()
+		pr, pc := luGrid(T)
+		owner := func(I, J int) int { return (I%pr)*pc + J%pc }
+		me := e.ThreadID()
+
+		get := func(i, j int) float64 { return e.ReadF64(lay.at(i, j)) }
+		set := func(i, j int, v float64) { e.WriteF64(lay.at(i, j), v) }
+
+		pfBlock := func(I, J int) {
+			for r := 0; r < b; r++ {
+				addr, cnt := lay.blockRow(I, J, r)
+				e.PrefetchRange(addr, 8*cnt)
+				if cont {
+					return // the whole block is one contiguous range
+				}
+			}
+		}
+
+		if me == 0 {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					set(i, j, input[i*n+j])
+					e.Compute(20)
+				}
+			}
+		}
+		e.Barrier(0)
+
+		bar := 1
+		for k := 0; k < nb; k++ {
+			if owner(k, k) == me {
+				luFactorBlock(n, b, k, get, set)
+				e.Compute(dsm.Time(b*b*b/3) * costMulSub)
+			}
+			e.Barrier(bar)
+			bar++
+
+			if e.Prefetching() {
+				// The perimeter solves all need the diagonal block.
+				needDiag := false
+				for j := k + 1; j < nb && !needDiag; j++ {
+					needDiag = owner(k, j) == me || owner(j, k) == me
+				}
+				if needDiag && owner(k, k) != me {
+					pfBlock(k, k)
+				}
+			}
+			for j := k + 1; j < nb; j++ {
+				if owner(k, j) == me {
+					luSolveRow(n, b, k, j, get, set)
+					e.Compute(dsm.Time(b*b*b/2) * costMulSub)
+				}
+			}
+			for i := k + 1; i < nb; i++ {
+				if owner(i, k) == me {
+					luSolveCol(n, b, k, i, get, set)
+					e.Compute(dsm.Time(b*b*b/2) * costMulSub)
+				}
+			}
+			e.Barrier(bar)
+			bar++
+
+			// Interior update, software-pipelined prefetching of the
+			// source blocks for the next owned block.
+			var mine [][2]int
+			for i := k + 1; i < nb; i++ {
+				for j := k + 1; j < nb; j++ {
+					if owner(i, j) == me {
+						mine = append(mine, [2]int{i, j})
+					}
+				}
+			}
+			pfSources := func(t int) {
+				if t >= len(mine) {
+					return
+				}
+				i, j := mine[t][0], mine[t][1]
+				if owner(i, k) != me {
+					pfBlock(i, k)
+				}
+				if owner(k, j) != me {
+					pfBlock(k, j)
+				}
+			}
+			if e.Prefetching() {
+				pfSources(0)
+			}
+			for t, ij := range mine {
+				if e.Prefetching() {
+					pfSources(t + 1)
+				}
+				luUpdate(n, b, k, ij[0], ij[1], get, set)
+				e.Compute(dsm.Time(b*b*b) * costMulSub)
+			}
+			e.Barrier(bar)
+			bar++
+		}
+
+		if me == 0 {
+			e.EndMeasurement()
+			if opt.Verify {
+				box.set(luVerify(e, lay, input, n, b, name))
+			}
+		}
+		e.Barrier(bar)
+	}
+
+	return &Instance{Name: name, Run: run, Err: box.get}
+}
+
+func luVerify(e *dsm.Env, lay luLayout, input []float64, n, b int, name string) error {
+	want := append([]float64(nil), input...)
+	seqBlockLU(want, n, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := e.ReadF64(lay.at(i, j))
+			if got != want[i*n+j] {
+				return fmt.Errorf("%s: element (%d,%d) = %v, want %v", name, i, j, got, want[i*n+j])
+			}
+		}
+	}
+	return nil
+}
+
+// BuildLUNcont constructs LU with non-contiguous (row-major) block storage.
+func BuildLUNcont(sys *dsm.System, opt Options) *Instance {
+	return buildLU(sys, opt, false)
+}
+
+// BuildLUCont constructs LU with contiguous block storage.
+func BuildLUCont(sys *dsm.System, opt Options) *Instance {
+	return buildLU(sys, opt, true)
+}

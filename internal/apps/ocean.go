@@ -1,0 +1,224 @@
+package apps
+
+import (
+	"fmt"
+
+	"godsm/dsm"
+)
+
+// OCEAN: a simplification of the SPLASH-2 ocean simulation down to its
+// communication core, as documented in DESIGN.md: two coupled grids (stream
+// function psi and vorticity) relaxed red-black over an eddy/boundary-
+// forced domain, with a lock-protected global residual reduction and a
+// convergence test every sweep. This preserves what the paper's OCEAN
+// stresses in the DSM — nearest-neighbour page sharing on a 258² grid plus
+// very heavy barrier synchronization (two barriers per sweep and a
+// reduction), which is why OCEAN's breakdown is dominated by
+// synchronization time.
+//
+// The residual is accumulated in fixed-point under a lock so that the
+// convergence decision is independent of accumulation order (and therefore
+// of the thread count), keeping every configuration bitwise comparable.
+
+type oceanParams struct {
+	g        int // interior grid dimension
+	maxIters int
+	tol      int64 // fixed-point residual threshold
+}
+
+func oceanSizes(sc Scale) oceanParams {
+	switch sc {
+	case Unit:
+		return oceanParams{g: 34, maxIters: 6, tol: 1 << 8}
+	case Small:
+		return oceanParams{g: 130, maxIters: 12, tol: 1 << 8}
+	default: // paper: 258×258 grid
+		return oceanParams{g: 258, maxIters: 30, tol: 1 << 8}
+	}
+}
+
+const (
+	oceanRelax = 0.45
+	oceanScale = 1 << 20 // fixed-point scale for the residual reduction
+	oceanLock  = 7
+)
+
+// oceanForcing is the eddy/boundary current forcing term at (i, j).
+func oceanForcing(i, j, g int) float64 {
+	// A boundary-driven circulation: strong flow at the top boundary,
+	// decaying eddies in the interior.
+	di := float64(i) / float64(g+1)
+	dj := float64(j) / float64(g+1)
+	return 0.02 * (di - dj) * (1 - di) * dj
+}
+
+func oceanInit(i, j, g int) float64 {
+	if i == 0 {
+		return 1.0 // wind-driven top boundary current
+	}
+	if j == 0 || i == g+1 || j == g+1 {
+		return 0
+	}
+	return float64((i*13+j*7)%89) / 890.0
+}
+
+// BuildOcean constructs the OCEAN application.
+func BuildOcean(sys *dsm.System, opt Options) *Instance {
+	p := oceanSizes(opt.Scale)
+	G := p.g + 2
+	psi := allocF64s(sys, G*G)
+	vor := allocF64s(sys, G*G)
+	errCell := allocI64s(sys, 2) // [0]=fixed-point residual, [1]=done flag
+	var box errBox
+
+	idx := func(i, j int) int { return i*G + j }
+
+	run := func(e *dsm.Env) {
+		me := e.ThreadID()
+		if me == 0 {
+			for i := 0; i < G; i++ {
+				for j := 0; j < G; j++ {
+					e.WriteF64(psi.at(idx(i, j)), oceanInit(i, j, p.g))
+					e.WriteF64(vor.at(idx(i, j)), 0)
+					e.Compute(25)
+				}
+			}
+		}
+		e.Barrier(0)
+
+		lo, hi := threadChunk(p.g, e)
+		lo, hi = lo+1, hi+1
+		bar := 1
+		for it := 0; it < p.maxIters; it++ {
+			// Sweep 1: vorticity from the psi stencil.
+			if e.Prefetching() && hi > lo {
+				e.PrefetchRange(psi.at(idx(lo-1, 0)), 8*G)
+				e.PrefetchRange(psi.at(idx(hi, 0)), 8*G)
+			}
+			for i := lo; i < hi; i++ {
+				for j := 1; j <= p.g; j++ {
+					lap := e.ReadF64(psi.at(idx(i-1, j))) + e.ReadF64(psi.at(idx(i+1, j))) +
+						e.ReadF64(psi.at(idx(i, j-1))) + e.ReadF64(psi.at(idx(i, j+1))) -
+						4*e.ReadF64(psi.at(idx(i, j)))
+					e.WriteF64(vor.at(idx(i, j)), lap+oceanForcing(i, j, p.g))
+					e.Compute(costStencil)
+				}
+			}
+			e.Barrier(bar)
+			bar++
+
+			// Sweep 2: red-black relaxation of psi toward the vorticity
+			// field (red-black keeps the parallel result identical to the
+			// sequential one), accumulating the local residual.
+			var localErr int64
+			for color := 0; color < 2; color++ {
+				if e.Prefetching() && hi > lo {
+					e.PrefetchRange(psi.at(idx(lo-1, 0)), 8*G)
+					e.PrefetchRange(psi.at(idx(hi, 0)), 8*G)
+					e.PrefetchRange(vor.at(idx(lo, 0)), 8*G)
+				}
+				for i := lo; i < hi; i++ {
+					for j := 1 + (i+color+1)%2; j <= p.g; j += 2 {
+						c := e.ReadF64(psi.at(idx(i, j)))
+						target := (e.ReadF64(psi.at(idx(i-1, j))) + e.ReadF64(psi.at(idx(i+1, j))) +
+							e.ReadF64(psi.at(idx(i, j-1))) + e.ReadF64(psi.at(idx(i, j+1)))) / 4
+						nv := c + oceanRelax*(target-c+e.ReadF64(vor.at(idx(i, j))))
+						e.WriteF64(psi.at(idx(i, j)), nv)
+						d := nv - c
+						if d < 0 {
+							d = -d
+						}
+						localErr += int64(d * oceanScale)
+						e.Compute(costStencil + 40)
+					}
+				}
+				e.Barrier(bar)
+				bar++
+			}
+
+			// Lock-protected global reduction.
+			if e.Prefetching() {
+				e.PrefetchRange(errCell.at(0), 16)
+			}
+			e.Lock(oceanLock)
+			e.WriteI64(errCell.at(0), e.ReadI64(errCell.at(0))+localErr)
+			e.Unlock(oceanLock)
+			e.Barrier(bar)
+			bar++
+
+			if me == 0 {
+				total := e.ReadI64(errCell.at(0))
+				if total < p.tol {
+					e.WriteI64(errCell.at(1), 1)
+				}
+				e.WriteI64(errCell.at(0), 0)
+			}
+			e.Barrier(bar)
+			bar++
+			if e.ReadI64(errCell.at(1)) != 0 {
+				break
+			}
+		}
+		e.Barrier(1000) // final barrier, distinct id
+
+		if me == 0 {
+			e.EndMeasurement()
+			if opt.Verify {
+				box.set(oceanVerify(e, psi, p, idx))
+			}
+		}
+		e.Barrier(1001)
+	}
+
+	return &Instance{Name: "OCEAN", Run: run, Err: box.get}
+}
+
+// oceanVerify recomputes the run sequentially (identical operation order
+// per cell; the fixed-point reduction makes the iteration count identical)
+// and compares the stream function bitwise.
+func oceanVerify(e *dsm.Env, psi f64s, p oceanParams, idx func(i, j int) int) error {
+	G := p.g + 2
+	ps := make([]float64, G*G)
+	vo := make([]float64, G*G)
+	for i := 0; i < G; i++ {
+		for j := 0; j < G; j++ {
+			ps[idx(i, j)] = oceanInit(i, j, p.g)
+		}
+	}
+	for it := 0; it < p.maxIters; it++ {
+		for i := 1; i <= p.g; i++ {
+			for j := 1; j <= p.g; j++ {
+				lap := ps[idx(i-1, j)] + ps[idx(i+1, j)] + ps[idx(i, j-1)] + ps[idx(i, j+1)] - 4*ps[idx(i, j)]
+				vo[idx(i, j)] = lap + oceanForcing(i, j, p.g)
+			}
+		}
+		var total int64
+		for color := 0; color < 2; color++ {
+			for i := 1; i <= p.g; i++ {
+				for j := 1 + (i+color+1)%2; j <= p.g; j += 2 {
+					c := ps[idx(i, j)]
+					target := (ps[idx(i-1, j)] + ps[idx(i+1, j)] + ps[idx(i, j-1)] + ps[idx(i, j+1)]) / 4
+					nv := c + oceanRelax*(target-c+vo[idx(i, j)])
+					ps[idx(i, j)] = nv
+					d := nv - c
+					if d < 0 {
+						d = -d
+					}
+					total += int64(d * oceanScale)
+				}
+			}
+		}
+		if total < p.tol {
+			break
+		}
+	}
+	for i := 0; i < G; i++ {
+		for j := 0; j < G; j++ {
+			got := e.ReadF64(psi.at(idx(i, j)))
+			if got != ps[idx(i, j)] {
+				return fmt.Errorf("OCEAN: psi(%d,%d) = %v, want %v", i, j, got, ps[idx(i, j)])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"godsm/dsm"
+)
+
+// These stress tests exercise the LRC protocol's hardest cases — multiple
+// locks guarding cells of one page, uneven lock participation, and the
+// barrier manager acting as a server mid-critical-section. They are the
+// distilled reproductions of two real protocol bugs found during
+// development (commit-own-diff-before-apply, and deferred barrier-manager
+// invalidation), kept as regressions.
+
+// tryPattern: P procs, one cell. Owner zeroes it; a subset of procs add
+// their id+1 under a lock; barrier; everyone reads.
+func tryPattern(procs, owner, lockID int, adders []bool, pairWork []int) string {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = procs
+	sys := dsm.NewSystem(cfg)
+	cell := sys.Alloc.Alloc(8, 8)
+	reads := make([]int64, procs)
+	sys.Run(func(e *dsm.Env) {
+		me := e.ThreadID()
+		if me == owner {
+			e.WriteI64(cell, 0)
+		}
+		e.Barrier(0)
+		e.Compute(dsm.Time(pairWork[me]) * dsm.Microsecond)
+		if adders[me] {
+			e.Lock(lockID)
+			e.WriteI64(cell, e.ReadI64(cell)+int64(me+1))
+			e.Unlock(lockID)
+		}
+		e.Barrier(1)
+		reads[me] = e.ReadI64(cell)
+		e.Barrier(2)
+	})
+	var want int64
+	for p, a := range adders {
+		if a {
+			want += int64(p + 1)
+		}
+	}
+	for p := range reads {
+		if reads[p] != want {
+			return fmt.Sprintf("procs=%d owner=%d lock=%d adders=%v work=%v: proc%d read %d want %d",
+				procs, owner, lockID, adders, pairWork, p, reads[p], want)
+		}
+	}
+	return ""
+}
+
+// tryMulti: one page, `procs` cells, cell c guarded by lock c. Each proc
+// zeroes its own cell, then adds (me+1)*100+c to cell c for each c in its
+// participation mask, in cell order. After a barrier everyone reads all.
+func tryMulti(procs int, part [][]bool, work []int) string {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = procs
+	sys := dsm.NewSystem(cfg)
+	base := sys.Alloc.Alloc(8*procs, dsm.PageSize)
+	at := func(c int) dsm.Addr { return base + dsm.Addr(8*c) }
+	reads := make([][]int64, procs)
+	sys.Run(func(e *dsm.Env) {
+		me := e.ThreadID()
+		e.WriteI64(at(me), 0)
+		e.Barrier(0)
+		e.Compute(dsm.Time(work[me]) * dsm.Microsecond)
+		for c := 0; c < procs; c++ {
+			if !part[me][c] {
+				continue
+			}
+			e.Lock(c)
+			e.WriteI64(at(c), e.ReadI64(at(c))+int64((me+1)*100+c))
+			e.Unlock(c)
+		}
+		e.Barrier(1)
+		mine := make([]int64, procs)
+		for c := 0; c < procs; c++ {
+			mine[c] = e.ReadI64(at(c))
+		}
+		reads[me] = mine
+		e.Barrier(2)
+	})
+	want := make([]int64, procs)
+	for c := 0; c < procs; c++ {
+		for p := 0; p < procs; p++ {
+			if part[p][c] {
+				want[c] += int64((p+1)*100 + c)
+			}
+		}
+	}
+	for p := 0; p < procs; p++ {
+		for c := 0; c < procs; c++ {
+			if reads[p][c] != want[c] {
+				return fmt.Sprintf("procs=%d part=%v work=%v: proc%d cell%d = %d want %d",
+					procs, part, work, p, c, reads[p][c], want[c])
+			}
+		}
+	}
+	return ""
+}
+
+// TestLockSkipPatterns sweeps every single-lock participation pattern for
+// 2–4 processors under three skew schedules.
+func TestLockSkipPatterns(t *testing.T) {
+	fails := 0
+	for procs := 2; procs <= 4; procs++ {
+		for owner := 0; owner < procs; owner++ {
+			for lockID := 0; lockID < procs; lockID++ {
+				for mask := 1; mask < 1<<procs; mask++ {
+					adders := make([]bool, procs)
+					for p := 0; p < procs; p++ {
+						adders[p] = mask&(1<<p) != 0
+					}
+					for _, work := range [][]int{{0, 0, 0, 0}, {0, 500, 1000, 1500}, {1500, 1000, 500, 0}} {
+						if msg := tryPattern(procs, owner, lockID, adders, work[:procs]); msg != "" {
+							if fails < 8 {
+								t.Error(msg)
+							}
+							fails++
+						}
+					}
+				}
+			}
+		}
+	}
+	if fails > 0 {
+		t.Fatalf("%d failing patterns", fails)
+	}
+}
+
+// TestMultiLockPageRegressions replays the exact patterns that exposed the
+// two protocol bugs, at 3 and 4 processors.
+func TestMultiLockPageRegressions(t *testing.T) {
+	cases := []struct {
+		procs int
+		part  [][]bool
+	}{
+		{3, [][]bool{{false, true, true}, {false, true, true}, {true, false, false}}},
+		{4, [][]bool{{true, true, false, false}, {false, true, false, false}, {false, false, false, false}, {false, false, false, false}}},
+		{4, [][]bool{{true, true, true, true}, {false, true, false, true}, {true, true, true, false}, {false, false, false, false}}},
+	}
+	for _, c := range cases {
+		for _, work := range [][]int{{0, 0, 0, 0}, {0, 300, 600, 900}, {900, 600, 300, 0}} {
+			if msg := tryMulti(c.procs, c.part, work[:c.procs]); msg != "" {
+				t.Error(msg)
+			}
+		}
+	}
+}
+
+// TestMultiLockPageSweep samples the full 4-proc participation space.
+func TestMultiLockPageSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled sweep skipped in -short mode")
+	}
+	procs := 4
+	fails := 0
+	for mask := 0; mask < 1<<(procs*procs); mask += 11 {
+		part := make([][]bool, procs)
+		for p := 0; p < procs; p++ {
+			part[p] = make([]bool, procs)
+			for c := 0; c < procs; c++ {
+				part[p][c] = mask&(1<<(p*procs+c)) != 0
+			}
+		}
+		for _, work := range [][]int{{0, 0, 0, 0}, {0, 300, 600, 900}} {
+			if msg := tryMulti(procs, part, work); msg != "" {
+				if fails < 5 {
+					t.Error(msg)
+				}
+				fails++
+			}
+		}
+	}
+	if fails > 0 {
+		t.Fatalf("%d failing patterns", fails)
+	}
+}

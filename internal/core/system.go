@@ -1,0 +1,237 @@
+// Package core assembles the simulated cluster and implements the paper's
+// latency-tolerance machinery on top of the protocol engine: per-processor
+// user-level thread scheduling (switch-on-miss and/or switch-on-sync, with
+// request combining), and the application-facing environment that performs
+// shared-memory accesses, inserts prefetches, and accumulates busy time.
+package core
+
+import (
+	"fmt"
+
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+	"godsm/internal/proto"
+	"godsm/internal/sim"
+	"godsm/internal/stats"
+)
+
+// Config selects a cluster configuration and latency-tolerance mode.
+type Config struct {
+	Procs          int // processors (paper: 8)
+	ThreadsPerProc int // user-level threads per processor (1 = original)
+
+	// SwitchOnMiss makes a thread yield the processor on a remote memory
+	// miss; SwitchOnSync does the same for remote synchronization stalls.
+	// The paper's "nT" configurations set both; the combined "nTP"
+	// configurations set only SwitchOnSync (Section 5).
+	SwitchOnMiss bool
+	SwitchOnSync bool
+
+	// Prefetch tells the applications to execute their inserted prefetch
+	// calls (Section 3).
+	Prefetch bool
+
+	// ThrottlePf drops every k-th dynamic prefetch (Section 5.1, RADIX).
+	ThrottlePf int
+
+	// GCThreshold triggers diff garbage collection at a barrier once a
+	// node's diff storage exceeds it (bytes). Zero disables GC.
+	GCThreshold int64
+
+	// Ablation switches (normally all false; see the ablation experiment).
+	NoTokenCache   bool // locks return to their manager at every release
+	PfReliable     bool // prefetch messages are never dropped
+	PfHeapSharedGC bool // prefetch cache counts toward the GC trigger
+	NoPfSuppress   bool // disable redundant-prefetch suppression (Sec. 5.1)
+	EagerRC        bool // eager release consistency (broadcast notices at release)
+
+	// AccessNs is the busy cost charged per shared-memory access.
+	AccessNs sim.Time
+
+	// LocalLockPass is the cost of handing a lock between threads on the
+	// same processor.
+	LocalLockPass sim.Time
+
+	Net   netsim.Config
+	Costs proto.Costs
+
+	// Limit aborts the simulation at this virtual time (0 = none); used to
+	// guard against accidental livelock in tests.
+	Limit sim.Time
+}
+
+// DefaultConfig returns the paper's baseline: 8 processors, 1 thread each,
+// no prefetching, calibrated ATM network and protocol costs.
+func DefaultConfig() Config {
+	return Config{
+		Procs:          8,
+		ThreadsPerProc: 1,
+		AccessNs:       30,
+		LocalLockPass:  5 * sim.Microsecond,
+		Net:            netsim.DefaultConfig(),
+		Costs:          proto.DefaultCosts(),
+	}
+}
+
+// MT reports whether this configuration multithreads at all.
+func (c *Config) MT() bool {
+	return c.ThreadsPerProc > 1 && (c.SwitchOnMiss || c.SwitchOnSync)
+}
+
+// System is one simulated cluster run.
+type System struct {
+	Cfg   Config
+	K     *sim.Kernel
+	Net   *netsim.Network
+	Alloc *pagemem.Allocator
+
+	CPUs    []*sim.CPU
+	Nodes   []*proto.Node
+	NodeSt  []stats.Node
+	Procs   []*Processor
+	started bool
+
+	// Measurement snapshot taken at EndMeasurement, so that verification
+	// reads after the timed region do not pollute the reported metrics.
+	snapped   bool
+	snapTime  sim.Time
+	snapNodes []stats.Node
+	snapCPUs  [][sim.NumCategories]sim.Time
+	snapMsgs  int64
+	snapBytes int64
+	snapDrops int64
+}
+
+// NewSystem builds the cluster.
+func NewSystem(cfg Config) *System {
+	if cfg.Procs <= 0 || cfg.ThreadsPerProc <= 0 {
+		panic("core: Procs and ThreadsPerProc must be positive")
+	}
+	if cfg.ThreadsPerProc > 1 && !cfg.SwitchOnSync {
+		// A thread spin-waiting at a barrier would starve its siblings of
+		// the CPU forever; multithreaded configurations must switch on
+		// synchronization stalls (as all of the paper's do).
+		panic("core: ThreadsPerProc > 1 requires SwitchOnSync")
+	}
+	s := &System{Cfg: cfg, K: sim.NewKernel(), Alloc: pagemem.NewAllocator()}
+	if cfg.Limit > 0 {
+		s.K.SetLimit(cfg.Limit)
+	}
+	s.Net = netsim.New(s.K, cfg.Procs, cfg.Net, func(m *netsim.Message) {
+		s.Nodes[m.Dst].Deliver(m)
+	})
+	s.NodeSt = make([]stats.Node, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		cpu := sim.NewCPU(s.K)
+		node := proto.NewNode(i, cfg.Procs, s.K, cpu, &cfg.Costs, &s.NodeSt[i])
+		node.Send = s.Net.Send
+		node.SetMT(cfg.MT())
+		node.ThrottlePf = cfg.ThrottlePf
+		node.GCThreshold = cfg.GCThreshold
+		node.NoTokenCache = cfg.NoTokenCache
+		node.PfReliable = cfg.PfReliable
+		node.PfHeapSharedGC = cfg.PfHeapSharedGC
+		node.EagerRC = cfg.EagerRC
+		s.CPUs = append(s.CPUs, cpu)
+		s.Nodes = append(s.Nodes, node)
+		s.Procs = append(s.Procs, newProcessor(s, i, node, cpu))
+	}
+	return s
+}
+
+// TotalThreads returns Procs × ThreadsPerProc.
+func (s *System) TotalThreads() int { return s.Cfg.Procs * s.Cfg.ThreadsPerProc }
+
+// Run executes app on every thread of the cluster and returns the
+// measurement report. app receives each thread's Env; thread 0 of
+// processor 0 conventionally initializes shared data before the first
+// barrier. Run panics if any thread is still blocked when the simulation
+// drains (a deadlock in the application or the model).
+func (s *System) Run(app func(*Env)) *stats.Report {
+	if s.started {
+		panic("core: System.Run called twice")
+	}
+	s.started = true
+
+	remaining := s.TotalThreads()
+	for _, p := range s.Procs {
+		p.spawnThreads(app, func() { remaining-- })
+	}
+	end := s.K.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("core: %d threads never finished (deadlock or time limit)", remaining))
+	}
+	return s.report(end)
+}
+
+// snapshot freezes the measurement state; called via Env.EndMeasurement.
+func (s *System) snapshot() {
+	if s.snapped {
+		return
+	}
+	s.snapped = true
+	s.snapTime = s.K.Now()
+	s.snapNodes = append([]stats.Node(nil), s.NodeSt...)
+	for _, cpu := range s.CPUs {
+		s.snapCPUs = append(s.snapCPUs, cpu.Accounts())
+	}
+	tot := s.Net.TotalStats()
+	s.snapMsgs, s.snapBytes, s.snapDrops = tot.MsgsSent, tot.BytesSent, tot.Dropped
+}
+
+func (s *System) report(end sim.Time) *stats.Report {
+	nodes := s.NodeSt
+	accounts := make([][sim.NumCategories]sim.Time, len(s.CPUs))
+	for i, cpu := range s.CPUs {
+		accounts[i] = cpu.Accounts()
+	}
+	tot := s.Net.TotalStats()
+	msgs, bytes, drops := tot.MsgsSent, tot.BytesSent, tot.Dropped
+	if s.snapped {
+		end = s.snapTime
+		nodes = s.snapNodes
+		accounts = s.snapCPUs
+		msgs, bytes, drops = s.snapMsgs, s.snapBytes, s.snapDrops
+	}
+
+	r := &stats.Report{
+		Procs:   s.Cfg.Procs,
+		Threads: s.Cfg.ThreadsPerProc,
+		Elapsed: end,
+		Nodes:   nodes,
+	}
+	r.MsgsTotal = msgs
+	r.BytesTotal = bytes
+	r.Drops = drops
+
+	var avg stats.Breakdown
+	for i := range accounts {
+		b := stats.Breakdown{Cat: accounts[i], Elapsed: end}
+		// Active categories are exact; raw idle attribution can over- or
+		// under-count around service overlap, so rescale the two idle
+		// categories to exactly fill the processor's unaccounted time.
+		active := b.Cat[sim.CatBusy] + b.Cat[sim.CatDSM] + b.Cat[sim.CatPrefetchOv] + b.Cat[sim.CatMTOv]
+		leftover := end - active
+		if leftover < 0 {
+			leftover = 0
+		}
+		rawIdle := b.Cat[sim.CatMemIdle] + b.Cat[sim.CatSyncIdle]
+		if rawIdle > 0 {
+			b.Cat[sim.CatMemIdle] = sim.Time(float64(leftover) * float64(b.Cat[sim.CatMemIdle]) / float64(rawIdle))
+			b.Cat[sim.CatSyncIdle] = leftover - b.Cat[sim.CatMemIdle]
+		} else {
+			b.Cat[sim.CatSyncIdle] = leftover
+		}
+		r.PerProc = append(r.PerProc, b)
+		for c := range avg.Cat {
+			avg.Cat[c] += b.Cat[c]
+		}
+		_ = i
+	}
+	for c := range avg.Cat {
+		avg.Cat[c] /= sim.Time(s.Cfg.Procs)
+	}
+	avg.Elapsed = end
+	r.Breakdown = avg
+	return r
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"godsm/dsm"
+	"godsm/internal/apps"
+	"godsm/internal/sim"
+)
+
+// Ablations of the design choices the protocol (and the paper) relies on.
+// Each toggle removes one mechanism; the experiment reports the resulting
+// slowdown (or speedup) relative to the full system under the configuration
+// where the mechanism matters most.
+type ablation struct {
+	name    string
+	detail  string
+	apps    []string
+	variant Variant
+	mutate  func(*dsm.Config)
+}
+
+var ablations = []ablation{
+	{
+		name:    "no-lock-token-caching",
+		detail:  "locks return to their manager at every release (centralized locks)",
+		apps:    []string{"WATER-NSQ", "WATER-SP", "OCEAN"},
+		variant: VarO,
+		mutate:  func(c *dsm.Config) { c.NoTokenCache = true },
+	},
+	{
+		name:    "reliable-prefetches",
+		detail:  "prefetch messages are never dropped (paper §3.1 argues against)",
+		apps:    []string{"FFT", "RADIX", "LU-NCONT"},
+		variant: VarP,
+		mutate:  func(c *dsm.Config) { c.PfReliable = true },
+	},
+	{
+		name:    "no-redundant-pf-suppression",
+		detail:  "sibling threads issue duplicate prefetches (paper §5.1 opt. 1)",
+		apps:    []string{"SOR", "OCEAN", "WATER-NSQ"},
+		variant: Var4TP,
+		mutate:  func(c *dsm.Config) { c.NoPfSuppress = true },
+	},
+	{
+		name:    "no-radix-throttling",
+		detail:  "RADIX combined mode issues every prefetch (paper §5.1 opt. 2)",
+		apps:    []string{"RADIX"},
+		variant: Var2TP,
+		mutate:  func(c *dsm.Config) { c.ThrottlePf = 0 },
+	},
+	{
+		name:    "eager-release-consistency",
+		detail:  "write notices broadcast at every release (Munin-style) instead of lazily",
+		apps:    []string{"OCEAN", "WATER-NSQ", "SOR"},
+		variant: VarO,
+		mutate:  func(c *dsm.Config) { c.EagerRC = true },
+	},
+	{
+		name:    "shared-prefetch-heap",
+		detail:  "prefetch cache counts toward the GC trigger (paper footnote 6)",
+		apps:    []string{"LU-NCONT", "FFT"},
+		variant: VarP,
+		mutate: func(c *dsm.Config) {
+			c.PfHeapSharedGC = true
+			c.GCThreshold = 256 * 1024
+		},
+	},
+}
+
+// RunAblations regenerates the design-choice ablation table. Each row runs
+// the full system and the ablated system under the same configuration and
+// reports the elapsed-time ratio (>1 means the mechanism was helping).
+func RunAblations(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Ablation study: cost of removing each design mechanism")
+	fmt.Fprintf(w, "%-28s %-10s %-5s %12s %12s %8s\n",
+		"Mechanism removed", "App", "Cfg", "Full", "Ablated", "Ratio")
+	for _, ab := range ablations {
+		for _, app := range ab.apps {
+			if !contains(s.AppNames(), app) {
+				continue
+			}
+			base, err := s.Run(app, ab.variant)
+			if err != nil {
+				return err
+			}
+			// Ablated runs bypass the cache (configs differ).
+			cfg := s.Config(app, ab.variant)
+			if ab.name == "shared-prefetch-heap" {
+				// Compare against the same GC threshold with the separate
+				// heap, so the ratio isolates the heap-sharing choice.
+				cfgBase := cfg
+				cfgBase.GCThreshold = 256 * 1024
+				r, err := runConfig(s, app, cfgBase)
+				if err != nil {
+					return err
+				}
+				base = r
+			}
+			ab.mutate(&cfg)
+			abl, err := runConfig(s, app, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-28s %-10s %-5s %10dus %10dus %7.2fx\n",
+				ab.name, app, ab.variant,
+				base.Elapsed/sim.Microsecond, abl.Elapsed/sim.Microsecond,
+				float64(abl.Elapsed)/float64(base.Elapsed))
+		}
+		fmt.Fprintf(w, "  (%s)\n", ab.detail)
+	}
+	return nil
+}
+
+// runConfig runs an application under an explicit configuration, outside
+// the variant cache.
+func runConfig(s *Session, app string, cfg dsm.Config) (*dsm.Report, error) {
+	spec, err := apps.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	sys := dsm.NewSystem(cfg)
+	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: s.Opt.Verify})
+	rep := sys.Run(inst.Run)
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func contains(ss []string, v string) bool {
+	for _, s := range ss {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		ID:    "ablation",
+		Title: "Ablation study of the design mechanisms",
+		Run:   RunAblations,
+	})
+}

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunFig1 regenerates Figure 1: the execution-time breakdown of the
+// original (no latency tolerance) runs of all applications.
+func RunFig1(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 1: execution time breakdown (TreadMarks baseline, "+
+		fmt.Sprint(s.Opt.Procs)+" processors)")
+	writeBreakdownHeader(w)
+	for _, app := range s.AppNames() {
+		rep, err := s.Run(app, VarO)
+		if err != nil {
+			return err
+		}
+		writeBreakdownRow(w, app, VarO, rep, rep.Elapsed)
+		fmt.Fprintf(w, "%-15s |%s|\n", "", bar(rep, rep.Elapsed))
+	}
+	fmt.Fprintln(w, "legend: B=Busy D=DSM overhead M=Memory miss idle S=Sync idle p=Prefetch ov t=MT ov")
+	return nil
+}
+
+// RunFig2 regenerates Figure 2: original vs prefetching breakdowns,
+// normalized to the original execution time.
+func RunFig2(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2: performance impact of prefetching (O = original, P = with prefetching)")
+	writeBreakdownHeader(w)
+	for _, app := range s.AppNames() {
+		repO, err := s.Run(app, VarO)
+		if err != nil {
+			return err
+		}
+		repP, err := s.Run(app, VarP)
+		if err != nil {
+			return err
+		}
+		writeBreakdownRow(w, app, VarO, repO, repO.Elapsed)
+		writeBreakdownRow(w, "", VarP, repP, repO.Elapsed)
+		stallO := repO.Sum().MissStall
+		stallP := repP.Sum().MissStall
+		reduction := 0.0
+		if stallO > 0 {
+			reduction = 100 * (1 - float64(stallP)/float64(stallO))
+		}
+		fmt.Fprintf(w, "%-15s speedup %.2fx, miss-stall reduction %.0f%%\n", "",
+			repP.Speedup(repO), reduction)
+	}
+	return nil
+}
+
+// RunTable1 regenerates Table 1: prefetching statistics.
+func RunTable1(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: prefetching statistics (O = original, P = with prefetching)")
+	fmt.Fprintf(w, "%-10s %8s %8s | %10s %10s | %8s %8s | %9s %9s\n",
+		"Benchmark", "Unnec%", "Covrge%", "TrafficO", "TrafficP",
+		"MissesO", "MissesP", "AvgLatO", "AvgLatP")
+	for _, app := range s.AppNames() {
+		repO, err := s.Run(app, VarO)
+		if err != nil {
+			return err
+		}
+		repP, err := s.Run(app, VarP)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %7.2f%% %7.2f%% | %9sK %9sK | %8d %8d | %7sus %7sus\n",
+			app,
+			repP.UnnecessaryPfPct(), repP.CoverageFactor(),
+			kb(repO.BytesTotal), kb(repP.BytesTotal),
+			repO.TotalMisses(), repP.TotalMisses(),
+			usec(repO.AvgMissLatency()), usec(repP.AvgMissLatency()))
+	}
+	return nil
+}
+
+// RunFig3 regenerates Figure 3: what happened to each original remote miss
+// under prefetching (not prefetched / invalidated / too late / hit),
+// normalized to the number of original misses.
+func RunFig3(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 3: breakdown of the original remote misses under prefetching")
+	fmt.Fprintf(w, "%-10s %8s %8s %14s %12s %8s %8s\n",
+		"App", "OrigMiss", "no-pf%", "pf-invalid%", "pf-late%", "pf-hit%", "drops")
+	for _, app := range s.AppNames() {
+		rep, err := s.Run(app, VarP)
+		if err != nil {
+			return err
+		}
+		n := rep.Sum()
+		total := float64(n.FaultNoPf + n.FaultPfHit + n.FaultPfLate + n.FaultPfInvalided)
+		if total == 0 {
+			total = 1
+		}
+		pct := func(v int64) float64 { return 100 * float64(v) / total }
+		fmt.Fprintf(w, "%-10s %8d %7.1f%% %13.1f%% %11.1f%% %7.1f%% %8d\n",
+			app, int64(total), pct(n.FaultNoPf), pct(n.FaultPfInvalided),
+			pct(n.FaultPfLate), pct(n.FaultPfHit), rep.Drops)
+	}
+	return nil
+}
+
+// RunFig4 regenerates Figure 4: multithreading with 2, 4 and 8 threads per
+// processor vs the original, normalized to the original execution time.
+func RunFig4(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 4: performance impact of multithreading (nT = n threads per processor)")
+	writeBreakdownHeader(w)
+	for _, app := range s.AppNames() {
+		repO, err := s.Run(app, VarO)
+		if err != nil {
+			return err
+		}
+		writeBreakdownRow(w, app, VarO, repO, repO.Elapsed)
+		for _, v := range []Variant{Var2T, Var4T, Var8T} {
+			rep, err := s.Run(app, v)
+			if err != nil {
+				return err
+			}
+			writeBreakdownRow(w, "", v, rep, repO.Elapsed)
+		}
+	}
+	return nil
+}
+
+// RunTable2 regenerates Table 2: multithreading statistics.
+func RunTable2(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Table 2: multithreading statistics")
+	fmt.Fprintf(w, "%-10s %-4s %9s %9s | %8s %9s | %8s %9s | %7s %9s | %7s %9s\n",
+		"Benchmark", "Cfg", "AvgStall", "AvgRun",
+		"Msgs", "VolKB", "RemMiss", "MissStal", "RemLock", "LockStal", "Barrs", "BarrStal")
+	for _, app := range s.AppNames() {
+		for _, v := range []Variant{VarO, Var2T, Var4T, Var8T} {
+			rep, err := s.Run(app, v)
+			if err != nil {
+				return err
+			}
+			n := rep.Sum()
+			avgMiss := int64(0)
+			if n.Misses > 0 {
+				avgMiss = int64(n.MissStall) / n.Misses
+			}
+			avgLock := int64(0)
+			if n.RemoteLockAcqs > 0 {
+				avgLock = int64(n.LockStall) / n.RemoteLockAcqs
+			}
+			avgBar := int64(0)
+			if n.BarrierArrives > 0 {
+				avgBar = int64(n.BarrierStall) / n.BarrierArrives
+			}
+			fmt.Fprintf(w, "%-10s %-4s %7sus %7sus | %8d %9s | %8d %7dus | %7d %7dus | %7d %7dus\n",
+				app, v, usec(rep.AvgStall()), usec(rep.AvgRunLength()),
+				rep.MsgsTotal, kb(rep.BytesTotal),
+				n.Misses, avgMiss/1000,
+				n.RemoteLockAcqs, avgLock/1000,
+				n.BarrierArrives, avgBar/1000)
+		}
+	}
+	return nil
+}
+
+// RunFig5 regenerates Figure 5: all eight configurations per application,
+// normalized to the original execution time, with the winner marked.
+func RunFig5(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 5: combining prefetching and multithreading")
+	fmt.Fprintln(w, "(nTP = n threads switching on synchronization only, plus prefetching)")
+	writeBreakdownHeader(w)
+	order := []Variant{VarO, Var2T, Var4T, Var8T, VarP, Var2TP, Var4TP, Var8TP}
+	for _, app := range s.AppNames() {
+		repO, err := s.Run(app, VarO)
+		if err != nil {
+			return err
+		}
+		best, bestVar := repO.Elapsed, VarO
+		for _, v := range order {
+			rep, err := s.Run(app, v)
+			if err != nil {
+				return err
+			}
+			writeBreakdownRow(w, appLabel(app, v), v, rep, repO.Elapsed)
+			if rep.Elapsed < best {
+				best, bestVar = rep.Elapsed, v
+			}
+		}
+		fmt.Fprintf(w, "%-15s best: %s (%.2fx over O)\n", "", bestVar,
+			float64(repO.Elapsed)/float64(best))
+	}
+	return nil
+}
+
+func appLabel(app string, v Variant) string {
+	if v == VarO {
+		return app
+	}
+	return ""
+}

@@ -1,0 +1,157 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation: Figure 1 (baseline breakdown), Figure 2 + Table 1 + Figure 3
+// (prefetching), Figure 4 + Table 2 (multithreading), and Figure 5
+// (combined). Each experiment runs the applications under the relevant
+// configurations and renders the same rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"godsm/dsm"
+	"godsm/internal/apps"
+)
+
+// Variant names a run configuration using the paper's labels: "O"
+// (original), "P" (prefetching), "2T"/"4T"/"8T" (multithreading), and
+// "2TP"/"4TP"/"8TP" (combined: multithreading on synchronization only,
+// prefetching for memory latency).
+type Variant string
+
+// The paper's configurations.
+const (
+	VarO   Variant = "O"
+	VarP   Variant = "P"
+	Var2T  Variant = "2T"
+	Var4T  Variant = "4T"
+	Var8T  Variant = "8T"
+	Var2TP Variant = "2TP"
+	Var4TP Variant = "4TP"
+	Var8TP Variant = "8TP"
+)
+
+// threadsOf decodes the leading thread count ("4TP" → 4); 1 for O/P.
+func threadsOf(v Variant) int {
+	switch v[0] {
+	case '2':
+		return 2
+	case '4':
+		return 4
+	case '8':
+		return 8
+	default:
+		return 1
+	}
+}
+
+// prefetching reports whether the variant executes inserted prefetches.
+func prefetching(v Variant) bool {
+	return v == VarP || v[len(v)-1] == 'P'
+}
+
+// Options configure a harness session.
+type Options struct {
+	Procs int
+	Scale apps.Scale
+	// Verify re-checks application output against the goldens (slower).
+	Verify bool
+	// Apps restricts the application list (nil = all eight).
+	Apps []string
+}
+
+// DefaultOptions mirrors the paper's platform: 8 processors, small scale.
+func DefaultOptions() Options {
+	return Options{Procs: 8, Scale: apps.Small}
+}
+
+// Session caches run results so that experiments sharing configurations
+// (e.g. Table 1 and Figure 3) do not re-simulate.
+type Session struct {
+	Opt   Options
+	cache map[string]*dsm.Report
+}
+
+// NewSession creates a harness session.
+func NewSession(opt Options) *Session {
+	return &Session{Opt: opt, cache: make(map[string]*dsm.Report)}
+}
+
+// AppNames returns the selected application names in figure order.
+func (s *Session) AppNames() []string {
+	if len(s.Opt.Apps) > 0 {
+		return s.Opt.Apps
+	}
+	names := make([]string, len(apps.All))
+	for i, a := range apps.All {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Config builds the dsm.Config for an application/variant pair, encoding
+// the paper's mode choices: "nT" switches on both miss and sync; "nTP"
+// switches on sync only (Section 5); RADIX throttles every other prefetch
+// in combined mode (Section 5.1).
+func (s *Session) Config(app string, v Variant) dsm.Config {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = s.Opt.Procs
+	cfg.ThreadsPerProc = threadsOf(v)
+	cfg.Prefetch = prefetching(v)
+	if cfg.ThreadsPerProc > 1 {
+		cfg.SwitchOnSync = true
+		cfg.SwitchOnMiss = !cfg.Prefetch // combined mode spins on misses
+	}
+	if app == "RADIX" && cfg.Prefetch && cfg.ThreadsPerProc > 1 {
+		cfg.ThrottlePf = 2
+	}
+	return cfg
+}
+
+// Run simulates one application under one variant (cached).
+func (s *Session) Run(app string, v Variant) (*dsm.Report, error) {
+	key := app + "/" + string(v)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	spec, err := apps.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	sys := dsm.NewSystem(s.Config(app, v))
+	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: s.Opt.Verify})
+	rep := sys.Run(inst.Run)
+	if err := inst.Err(); err != nil {
+		return nil, fmt.Errorf("%s/%s: verification failed: %w", app, v, err)
+	}
+	s.cache[key] = rep
+	return rep, nil
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s *Session, w io.Writer) error
+}
+
+// Experiments lists every artifact in paper order.
+var Experiments = []Experiment{
+	{"fig1", "Figure 1: execution time breakdown, TreadMarks baseline", RunFig1},
+	{"fig2", "Figure 2: performance impact of prefetching", RunFig2},
+	{"table1", "Table 1: prefetching statistics", RunTable1},
+	{"fig3", "Figure 3: breakdown of the original remote misses", RunFig3},
+	{"fig4", "Figure 4: performance impact of multithreading", RunFig4},
+	{"table2", "Table 2: multithreading statistics", RunTable2},
+	{"fig5", "Figure 5: combining prefetching and multithreading", RunFig5},
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("unknown experiment %q", id)
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"godsm/internal/apps"
+)
+
+func testSession() *Session {
+	return NewSession(Options{Procs: 4, Scale: apps.Unit})
+}
+
+// TestEveryExperimentRuns executes each experiment end to end at unit scale
+// on a reduced app set and sanity-checks the rendered output.
+func TestEveryExperimentRuns(t *testing.T) {
+	wantMarker := map[string]string{
+		"fig1":   "Figure 1",
+		"fig2":   "speedup",
+		"table1": "Covrge%",
+		"fig3":   "pf-hit%",
+		"fig4":   "multithreading",
+		"table2": "AvgStall",
+		"fig5":   "best:",
+	}
+	s := NewSession(Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR", "FFT"}})
+	for _, e := range Experiments {
+		var buf bytes.Buffer
+		if err := e.Run(s, &buf); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, wantMarker[e.ID]) {
+			t.Errorf("%s output missing %q:\n%s", e.ID, wantMarker[e.ID], out)
+		}
+		if !strings.Contains(out, "SOR") {
+			t.Errorf("%s output missing app row", e.ID)
+		}
+	}
+}
+
+// TestSessionCaching: repeated runs of the same configuration must come
+// from the cache (same pointer).
+func TestSessionCaching(t *testing.T) {
+	s := testSession()
+	a, err := s.Run("SOR", VarO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run("SOR", VarO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("session did not cache the report")
+	}
+}
+
+// TestVariantDecoding checks the paper-label decoding.
+func TestVariantDecoding(t *testing.T) {
+	cases := []struct {
+		v        Variant
+		threads  int
+		prefetch bool
+	}{
+		{VarO, 1, false}, {VarP, 1, true},
+		{Var2T, 2, false}, {Var4T, 4, false}, {Var8T, 8, false},
+		{Var2TP, 2, true}, {Var4TP, 4, true}, {Var8TP, 8, true},
+	}
+	for _, c := range cases {
+		if got := threadsOf(c.v); got != c.threads {
+			t.Errorf("threadsOf(%s) = %d, want %d", c.v, got, c.threads)
+		}
+		if got := prefetching(c.v); got != c.prefetch {
+			t.Errorf("prefetching(%s) = %v, want %v", c.v, got, c.prefetch)
+		}
+	}
+}
+
+// TestConfigModes: nT switches on both events; nTP on sync only; RADIX
+// combined mode throttles prefetches.
+func TestConfigModes(t *testing.T) {
+	s := testSession()
+	cfg := s.Config("FFT", Var4T)
+	if !cfg.SwitchOnMiss || !cfg.SwitchOnSync || cfg.Prefetch {
+		t.Errorf("4T config = %+v", cfg)
+	}
+	cfg = s.Config("FFT", Var4TP)
+	if cfg.SwitchOnMiss || !cfg.SwitchOnSync || !cfg.Prefetch {
+		t.Errorf("4TP config = %+v", cfg)
+	}
+	if s.Config("RADIX", Var2TP).ThrottlePf == 0 {
+		t.Error("RADIX combined mode should throttle prefetches")
+	}
+	if s.Config("RADIX", VarP).ThrottlePf != 0 {
+		t.Error("RADIX P mode should not throttle")
+	}
+	if s.Config("FFT", Var2TP).ThrottlePf != 0 {
+		t.Error("only RADIX throttles")
+	}
+}
+
+// TestByID resolves every listed experiment and rejects unknown ids.
+func TestByID(t *testing.T) {
+	for _, e := range Experiments {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%s) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID accepted an unknown id")
+	}
+}
+
+// TestVerifiedExperimentRun: an experiment with verification enabled must
+// still succeed (the goldens hold under the harness configs).
+func TestVerifiedExperimentRun(t *testing.T) {
+	s := NewSession(Options{Procs: 4, Scale: apps.Unit, Verify: true,
+		Apps: []string{"OCEAN"}})
+	var buf bytes.Buffer
+	if err := RunFig2(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"godsm/dsm"
+	"godsm/internal/sim"
+)
+
+// breakdownOrder is the category order of the paper's stacked bars, top to
+// bottom (rendered here left to right).
+var breakdownOrder = []sim.Category{
+	dsm.CatPrefetchOv, dsm.CatMTOv, dsm.CatSyncIdle, dsm.CatMemIdle, dsm.CatDSM, dsm.CatBusy,
+}
+
+var breakdownShort = map[sim.Category]string{
+	dsm.CatPrefetchOv: "PfOv",
+	dsm.CatMTOv:       "MTOv",
+	dsm.CatSyncIdle:   "Sync",
+	dsm.CatMemIdle:    "Mem",
+	dsm.CatDSM:        "DSM",
+	dsm.CatBusy:       "Busy",
+}
+
+// writeBreakdownHeader prints the column legend for breakdown tables.
+func writeBreakdownHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %-4s", "App", "Cfg")
+	for _, c := range breakdownOrder {
+		fmt.Fprintf(w, " %6s", breakdownShort[c])
+	}
+	fmt.Fprintf(w, " %7s %12s\n", "Norm", "Elapsed")
+}
+
+// writeBreakdownRow prints one normalized breakdown row (percentages of the
+// reference elapsed time, the paper's normalization).
+func writeBreakdownRow(w io.Writer, app string, v Variant, rep *dsm.Report, ref sim.Time) {
+	norm := rep.Breakdown.Normalized(ref)
+	label := app
+	fmt.Fprintf(w, "%-10s %-4s", label, v)
+	total := 0.0
+	for _, c := range breakdownOrder {
+		fmt.Fprintf(w, " %6.1f", norm[c])
+		total += norm[c]
+	}
+	fmt.Fprintf(w, " %7.1f %10dus\n", total, rep.Elapsed/sim.Microsecond)
+}
+
+// bar renders an ASCII stacked bar of the normalized breakdown, 1 char per
+// 2 percent, using one letter per category.
+func bar(rep *dsm.Report, ref sim.Time) string {
+	letters := map[sim.Category]byte{
+		dsm.CatBusy:       'B',
+		dsm.CatDSM:        'D',
+		dsm.CatMemIdle:    'M',
+		dsm.CatSyncIdle:   'S',
+		dsm.CatPrefetchOv: 'p',
+		dsm.CatMTOv:       't',
+	}
+	norm := rep.Breakdown.Normalized(ref)
+	var sb strings.Builder
+	for _, c := range []sim.Category{dsm.CatBusy, dsm.CatDSM, dsm.CatMemIdle, dsm.CatSyncIdle, dsm.CatPrefetchOv, dsm.CatMTOv} {
+		n := int(norm[c]/2 + 0.5)
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[c])
+		}
+	}
+	return sb.String()
+}
+
+// kb formats bytes as the paper's KByte columns.
+func kb(b int64) string { return fmt.Sprintf("%d", b/1024) }
+
+// usec formats a duration in microseconds.
+func usec(t sim.Time) string { return fmt.Sprintf("%d", t/sim.Microsecond) }

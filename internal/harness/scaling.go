@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"godsm/internal/sim"
+)
+
+// RunScaling regenerates a processor-count scaling table (an extension:
+// the paper fixes 8 processors). For each application it reports elapsed
+// time and self-relative speedup at 1, 2, 4 and 8 processors under the
+// original and prefetching configurations — showing how communication
+// grows with the machine and how much of it prefetching recovers.
+func RunScaling(s *Session, w io.Writer) error {
+	fmt.Fprintln(w, "Scaling: elapsed time and speedup vs processor count")
+	fmt.Fprintf(w, "%-10s %-4s %12s %12s %12s %12s\n",
+		"App", "Cfg", "1p", "2p", "4p", "8p")
+	procs := []int{1, 2, 4, 8}
+	for _, app := range s.AppNames() {
+		for _, v := range []Variant{VarO, VarP} {
+			var elapsed []sim.Time
+			for _, p := range procs {
+				cfg := s.Config(app, v)
+				cfg.Procs = p
+				rep, err := runConfig(s, app, cfg)
+				if err != nil {
+					return err
+				}
+				elapsed = append(elapsed, rep.Elapsed)
+			}
+			fmt.Fprintf(w, "%-10s %-4s", app, v)
+			for _, e := range elapsed {
+				fmt.Fprintf(w, " %10dus", e/sim.Microsecond)
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "%-10s %-4s", "", "↳spd")
+			for _, e := range elapsed {
+				fmt.Fprintf(w, " %11.2fx", float64(elapsed[0])/float64(e))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "(speedups are relative to the same configuration on 1 processor)")
+	return nil
+}
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		ID:    "scaling",
+		Title: "Processor-count scaling (extension)",
+		Run:   RunScaling,
+	})
+}

@@ -1,0 +1,175 @@
+// Package netsim models the cluster interconnect: a single ATM-style switch
+// with one full-duplex link per node. Messages experience sender-side
+// serialization, store-and-forward switching, and receiver-side link
+// occupancy, so concurrent traffic to one node queues on that node's inbound
+// link — reproducing the hot-spotting the paper observes when all processors
+// fetch their initial data from the master.
+//
+// Unreliable messages (the paper's prefetch requests and replies) are
+// dropped deterministically when the queueing delay they would suffer
+// exceeds a configurable threshold, modelling congestion loss.
+package netsim
+
+import (
+	"fmt"
+
+	"godsm/internal/sim"
+)
+
+// NodeID identifies a node (processor) on the network.
+type NodeID int
+
+// Kind tags a message for traffic statistics. The protocol layer defines
+// the actual kinds; netsim only requires them to be small integers.
+type Kind uint8
+
+// MaxKinds bounds the Kind space for statistics arrays.
+const MaxKinds = 24
+
+// Message is one datagram on the simulated network.
+type Message struct {
+	Src, Dst NodeID
+	Size     int  // bytes on the wire, including headers
+	Reliable bool // unreliable messages may be dropped under congestion
+	Kind     Kind
+	Payload  any
+}
+
+// Config holds the network's physical parameters. The defaults in
+// DefaultConfig approximate the paper's 155 Mbps FORE ATM LAN.
+type Config struct {
+	NsPerByte     float64  // serialization cost per byte on each link
+	SwitchLatency sim.Time // fixed store-and-forward latency in the switch
+	PropDelay     sim.Time // propagation delay per link traversal
+	// DropThreshold is the maximum total queueing delay an unreliable
+	// message may suffer before it is dropped. Zero disables dropping.
+	DropThreshold sim.Time
+}
+
+// DefaultConfig returns parameters approximating the paper's platform: a
+// 155 Mbps OC-3 ATM LAN (51.6 ns/byte serialization, 20 µs switch) whose
+// end-to-end latency is dominated by the per-hop adapter/driver/UDP-stack
+// path (~300 µs per link traversal, which does not consume host CPU in the
+// model — the CPU-visible protocol costs are in proto.Costs). Unreliable
+// messages drop past 1.5 ms of queueing.
+func DefaultConfig() Config {
+	return Config{
+		NsPerByte:     51.6,
+		SwitchLatency: 20 * sim.Microsecond,
+		PropDelay:     300 * sim.Microsecond,
+		DropThreshold: 1500 * sim.Microsecond,
+	}
+}
+
+// LinkStats counts traffic observed at one node.
+type LinkStats struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+	Dropped              int64 // unreliable messages lost to congestion
+}
+
+type nic struct {
+	outBusyUntil sim.Time // sender-side link free time
+	inBusyUntil  sim.Time // receiver-side link free time
+	stats        LinkStats
+}
+
+// Network is the simulated LAN. Construct with New.
+type Network struct {
+	k       *sim.Kernel
+	cfg     Config
+	nics    []nic
+	deliver func(*Message)
+
+	kindMsgs  [MaxKinds]int64
+	kindBytes [MaxKinds]int64
+}
+
+// New creates a network of n nodes on kernel k. deliver is invoked (in
+// kernel context) when a message arrives at its destination.
+func New(k *sim.Kernel, n int, cfg Config, deliver func(*Message)) *Network {
+	if n <= 0 {
+		panic("netsim: need at least one node")
+	}
+	return &Network{k: k, cfg: cfg, nics: make([]nic, n), deliver: deliver}
+}
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return len(n.nics) }
+
+// Stats returns the traffic counters for node id.
+func (n *Network) Stats(id NodeID) LinkStats { return n.nics[id].stats }
+
+// TotalStats sums traffic over all nodes (sent-side counters).
+func (n *Network) TotalStats() LinkStats {
+	var t LinkStats
+	for i := range n.nics {
+		s := &n.nics[i].stats
+		t.MsgsSent += s.MsgsSent
+		t.MsgsRecv += s.MsgsRecv
+		t.BytesSent += s.BytesSent
+		t.BytesRecv += s.BytesRecv
+		t.Dropped += s.Dropped
+	}
+	return t
+}
+
+// KindStats returns (messages, bytes) sent with the given kind.
+func (n *Network) KindStats(kind Kind) (msgs, bytes int64) {
+	return n.kindMsgs[kind], n.kindBytes[kind]
+}
+
+func (n *Network) serialization(size int) sim.Time {
+	return sim.Time(float64(size) * n.cfg.NsPerByte)
+}
+
+// Send transmits m at the current virtual time. It returns the delivery
+// time, or -1 if the message was dropped. Loopback (Src == Dst) is
+// delivered after the switch latency only, mirroring local IPC.
+func (n *Network) Send(m *Message) sim.Time {
+	if m.Dst < 0 || int(m.Dst) >= len(n.nics) {
+		panic(fmt.Sprintf("netsim: bad destination %d", m.Dst))
+	}
+	now := n.k.Now()
+	src, dst := &n.nics[m.Src], &n.nics[m.Dst]
+
+	src.stats.MsgsSent++
+	src.stats.BytesSent += int64(m.Size)
+	n.kindMsgs[m.Kind]++
+	n.kindBytes[m.Kind] += int64(m.Size)
+
+	if m.Src == m.Dst {
+		at := now + n.cfg.SwitchLatency
+		dst.stats.MsgsRecv++
+		dst.stats.BytesRecv += int64(m.Size)
+		n.k.At(at, func() { n.deliver(m) })
+		return at
+	}
+
+	ser := n.serialization(m.Size)
+
+	// Sender-side link.
+	outStart := max(now, src.outBusyUntil)
+	outEnd := outStart + ser
+
+	// Switch + propagation.
+	atSwitchOut := outEnd + n.cfg.PropDelay + n.cfg.SwitchLatency
+
+	// Receiver-side link (store-and-forward from the switch).
+	inStart := max(atSwitchOut, dst.inBusyUntil)
+	inEnd := inStart + ser
+	arrive := inEnd + n.cfg.PropDelay
+
+	queueing := (outStart - now) + (inStart - atSwitchOut)
+	if !m.Reliable && n.cfg.DropThreshold > 0 && queueing > n.cfg.DropThreshold {
+		src.stats.Dropped++
+		return -1
+	}
+
+	src.outBusyUntil = outEnd
+	dst.inBusyUntil = inEnd
+	dst.stats.MsgsRecv++
+	dst.stats.BytesRecv += int64(m.Size)
+	n.k.At(arrive, func() { n.deliver(m) })
+	return arrive
+}

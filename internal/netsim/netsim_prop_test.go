@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"godsm/internal/sim"
+)
+
+// Property: per (src,dst) pair, messages are delivered in send order (the
+// links are FIFO), regardless of sizes and send times.
+func TestFIFOPerPairProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel()
+		type key struct{ s, d NodeID }
+		lastSeq := make(map[key]int)
+		ok := true
+		n := New(k, 4, testConfig(), func(m *Message) {
+			pl := m.Payload.([2]int)
+			kk := key{m.Src, m.Dst}
+			if pl[0] <= lastSeq[kk] {
+				ok = false
+			}
+			lastSeq[kk] = pl[0]
+		})
+		sendCount := make(map[key]int)
+		for i := 0; i < 60; i++ {
+			at := sim.Time(rng.Intn(5000))
+			src := NodeID(rng.Intn(4))
+			dst := NodeID(rng.Intn(4))
+			size := 1 + rng.Intn(3000)
+			k.At(at, func() {
+				kk := key{src, dst}
+				sendCount[kk]++ // per-pair send order, assigned at send time
+				n.Send(&Message{Src: src, Dst: dst, Size: size, Reliable: true,
+					Payload: [2]int{sendCount[kk], 0}})
+			})
+		}
+		k.Run()
+		_ = lastSeq
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conservation — every reliable message sent is received exactly
+// once; unreliable messages are received or counted as dropped.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig()
+		cfg.DropThreshold = sim.Time(1 + rng.Intn(2000))
+		k := sim.NewKernel()
+		recv := 0
+		n := New(k, 3, cfg, func(m *Message) { recv++ })
+		sent := 40
+		dropped := 0
+		k.At(0, func() {
+			for i := 0; i < sent; i++ {
+				m := &Message{
+					Src: NodeID(rng.Intn(3)), Dst: NodeID(rng.Intn(3)),
+					Size: 1 + rng.Intn(4000), Reliable: rng.Intn(2) == 0,
+				}
+				if n.Send(m) < 0 {
+					dropped++
+				}
+			}
+		})
+		k.Run()
+		tot := n.TotalStats()
+		return recv+dropped == sent && tot.Dropped == int64(dropped) &&
+			tot.MsgsSent == int64(sent) && tot.MsgsRecv == int64(recv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delivery time is never before send time plus the minimum
+// physical path latency.
+func TestMinimumLatencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig()
+		k := sim.NewKernel()
+		ok := true
+		type meta struct {
+			sent sim.Time
+			size int
+		}
+		n := New(k, 4, cfg, nil)
+		deliver := func(m *Message) {
+			md := m.Payload.(meta)
+			minLat := cfg.SwitchLatency
+			if m.Src != m.Dst {
+				ser := sim.Time(float64(md.size) * cfg.NsPerByte)
+				minLat = 2*ser + 2*cfg.PropDelay + cfg.SwitchLatency
+			}
+			if k.Now() < md.sent+minLat {
+				ok = false
+			}
+		}
+		n.deliver = deliver
+		for i := 0; i < 40; i++ {
+			at := sim.Time(rng.Intn(3000))
+			size := 1 + rng.Intn(2000)
+			src, dst := NodeID(rng.Intn(4)), NodeID(rng.Intn(4))
+			k.At(at, func() {
+				n.Send(&Message{Src: src, Dst: dst, Size: size, Reliable: true,
+					Payload: meta{sent: k.Now(), size: size}})
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

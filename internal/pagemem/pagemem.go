@@ -1,0 +1,219 @@
+// Package pagemem implements the paged shared address space that the DSM
+// protocol manages: page/address arithmetic, per-node page frames, twin
+// copies for the multiple-writer protocol, run-length-encoded diffs, and a
+// bump allocator for the shared heap.
+//
+// TreadMarks detects modifications by write-protecting pages and comparing
+// a dirty page against a pristine "twin"; the diff (the RLE encoding of the
+// changed bytes) is what travels on the network. This package reproduces
+// those data structures exactly; only the fault detection mechanism (VM
+// protection in the paper, explicit access checks here) differs.
+package pagemem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PageSize is the virtual-memory page size (4 KB, as on the paper's AIX
+// RS/6000 machines).
+const (
+	PageSize  = 4096
+	PageShift = 12
+)
+
+// Addr is an address in the shared virtual address space.
+type Addr uint64
+
+// PageID identifies a shared page.
+type PageID uint32
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) PageID { return PageID(a >> PageShift) }
+
+// OffsetOf returns a's offset within its page.
+func OffsetOf(a Addr) int { return int(a & (PageSize - 1)) }
+
+// Base returns the first address of page p.
+func (p PageID) Base() Addr { return Addr(p) << PageShift }
+
+// A Run is one contiguous range of modified bytes within a page.
+type Run struct {
+	Offset uint16
+	Data   []byte
+}
+
+// Diff is the set of modifications made to one page, relative to its twin.
+type Diff struct {
+	Page PageID
+	Runs []Run
+}
+
+// runHeaderSize is the wire overhead per run (offset + length).
+const runHeaderSize = 4
+
+// MakeDiff compares a modified page against its twin and returns the RLE
+// diff, or nil if the page is unchanged. Both slices must be PageSize long.
+func MakeDiff(page PageID, twin, current []byte) *Diff {
+	if len(twin) != PageSize || len(current) != PageSize {
+		panic(fmt.Sprintf("pagemem: MakeDiff on %d/%d byte buffers", len(twin), len(current)))
+	}
+	var runs []Run
+	i := 0
+	for i < PageSize {
+		if twin[i] == current[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < PageSize && twin[i] != current[i] {
+			i++
+		}
+		data := make([]byte, i-start)
+		copy(data, current[start:i])
+		runs = append(runs, Run{Offset: uint16(start), Data: data})
+	}
+	if runs == nil {
+		return nil
+	}
+	return &Diff{Page: page, Runs: runs}
+}
+
+// Apply writes the diff's runs into page contents buf (PageSize long).
+func (d *Diff) Apply(buf []byte) {
+	if len(buf) != PageSize {
+		panic("pagemem: Apply on short buffer")
+	}
+	for _, r := range d.Runs {
+		copy(buf[r.Offset:int(r.Offset)+len(r.Data)], r.Data)
+	}
+}
+
+// WireSize returns the number of bytes the diff occupies in a message.
+func (d *Diff) WireSize() int {
+	if d == nil {
+		return 0
+	}
+	n := 8 // page id + run count
+	for _, r := range d.Runs {
+		n += runHeaderSize + len(r.Data)
+	}
+	return n
+}
+
+// DataBytes returns the number of modified bytes the diff carries.
+func (d *Diff) DataBytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// Store holds one node's local copies of shared pages and their twins.
+// Frames are allocated lazily and are zero-filled, matching the convention
+// that the shared heap starts zeroed everywhere.
+type Store struct {
+	frames map[PageID][]byte
+	twins  map[PageID][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{frames: make(map[PageID][]byte), twins: make(map[PageID][]byte)}
+}
+
+// Frame returns the local copy of page p, allocating a zeroed frame on
+// first touch.
+func (s *Store) Frame(p PageID) []byte {
+	f, ok := s.frames[p]
+	if !ok {
+		f = make([]byte, PageSize)
+		s.frames[p] = f
+	}
+	return f
+}
+
+// HasFrame reports whether a frame for p has been materialized.
+func (s *Store) HasFrame(p PageID) bool { _, ok := s.frames[p]; return ok }
+
+// MakeTwin snapshots page p's current contents as its twin. It panics if a
+// twin already exists: the protocol must discard the old twin first.
+func (s *Store) MakeTwin(p PageID) {
+	if _, ok := s.twins[p]; ok {
+		panic(fmt.Sprintf("pagemem: twin for page %d already exists", p))
+	}
+	twin := make([]byte, PageSize)
+	copy(twin, s.Frame(p))
+	s.twins[p] = twin
+}
+
+// Twin returns page p's twin, or nil if none exists.
+func (s *Store) Twin(p PageID) []byte { return s.twins[p] }
+
+// DropTwin discards page p's twin.
+func (s *Store) DropTwin(p PageID) { delete(s.twins, p) }
+
+// TwinCount returns the number of live twins (diagnostics / GC accounting).
+func (s *Store) TwinCount() int { return len(s.twins) }
+
+// Allocator is a bump allocator for the shared heap. All nodes run the same
+// allocation sequence deterministically, so addresses agree without
+// communication (the applications allocate in their init phase, as the
+// SPLASH-2 programs do).
+type Allocator struct {
+	next Addr
+}
+
+// NewAllocator returns an allocator starting at page 1 (address 0 is kept
+// unmapped to catch zero-address bugs).
+func NewAllocator() *Allocator { return &Allocator{next: PageSize} }
+
+// Alloc returns a size-byte region aligned to align (which must be a power
+// of two). Scalar types must use their natural alignment so no scalar ever
+// straddles a page boundary.
+func (a *Allocator) Alloc(size int, align int) Addr {
+	if size <= 0 {
+		panic("pagemem: Alloc of non-positive size")
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic("pagemem: alignment must be a positive power of two")
+	}
+	mask := Addr(align - 1)
+	a.next = (a.next + mask) &^ mask
+	addr := a.next
+	a.next += Addr(size)
+	return addr
+}
+
+// AllocPages returns a page-aligned region covering n whole pages.
+func (a *Allocator) AllocPages(n int) Addr {
+	return a.Alloc(n*PageSize, PageSize)
+}
+
+// Brk returns the current top of the shared heap.
+func (a *Allocator) Brk() Addr { return a.next }
+
+// Typed accessors over raw page frames. The DSM env layer resolves the
+// frame and offset; these helpers only do the encoding. Little-endian,
+// matching Go's x86/arm targets, but any fixed choice works since all
+// simulated nodes share it.
+
+// GetU64 reads a uint64 at off.
+func GetU64(frame []byte, off int) uint64 { return binary.LittleEndian.Uint64(frame[off:]) }
+
+// PutU64 writes a uint64 at off.
+func PutU64(frame []byte, off int, v uint64) { binary.LittleEndian.PutUint64(frame[off:], v) }
+
+// GetU32 reads a uint32 at off.
+func GetU32(frame []byte, off int) uint32 { return binary.LittleEndian.Uint32(frame[off:]) }
+
+// PutU32 writes a uint32 at off.
+func PutU32(frame []byte, off int, v uint32) { binary.LittleEndian.PutUint32(frame[off:], v) }
+
+// GetF64 reads a float64 at off.
+func GetF64(frame []byte, off int) float64 { return math.Float64frombits(GetU64(frame, off)) }
+
+// PutF64 writes a float64 at off.
+func PutF64(frame []byte, off int, v float64) { PutU64(frame, off, math.Float64bits(v)) }

@@ -1,0 +1,237 @@
+package pagemem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrArithmetic(t *testing.T) {
+	a := Addr(3*PageSize + 17)
+	if PageOf(a) != 3 {
+		t.Errorf("PageOf = %d, want 3", PageOf(a))
+	}
+	if OffsetOf(a) != 17 {
+		t.Errorf("OffsetOf = %d, want 17", OffsetOf(a))
+	}
+	if PageID(3).Base() != 3*PageSize {
+		t.Errorf("Base = %d", PageID(3).Base())
+	}
+}
+
+func TestMakeDiffNilWhenUnchanged(t *testing.T) {
+	twin := make([]byte, PageSize)
+	cur := make([]byte, PageSize)
+	if d := MakeDiff(0, twin, cur); d != nil {
+		t.Fatalf("diff of identical pages = %+v, want nil", d)
+	}
+}
+
+func TestDiffSingleRun(t *testing.T) {
+	twin := make([]byte, PageSize)
+	cur := make([]byte, PageSize)
+	copy(cur[100:], []byte{1, 2, 3})
+	d := MakeDiff(7, twin, cur)
+	if d == nil || len(d.Runs) != 1 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if d.Page != 7 || d.Runs[0].Offset != 100 || !bytes.Equal(d.Runs[0].Data, []byte{1, 2, 3}) {
+		t.Fatalf("diff = %+v", d)
+	}
+	if d.DataBytes() != 3 {
+		t.Errorf("DataBytes = %d", d.DataBytes())
+	}
+	if d.WireSize() != 8+4+3 {
+		t.Errorf("WireSize = %d", d.WireSize())
+	}
+}
+
+func TestDiffMultipleRuns(t *testing.T) {
+	twin := make([]byte, PageSize)
+	cur := make([]byte, PageSize)
+	cur[0] = 9
+	cur[500] = 1
+	cur[501] = 2
+	cur[PageSize-1] = 5
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3: %+v", len(d.Runs), d.Runs)
+	}
+}
+
+// Property: applying a diff to a copy of the twin reproduces the modified
+// page exactly, for random modifications.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nMods uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, PageSize)
+		rng.Read(twin)
+		cur := make([]byte, PageSize)
+		copy(cur, twin)
+		for i := 0; i < int(nMods); i++ {
+			cur[rng.Intn(PageSize)] = byte(rng.Int())
+		}
+		d := MakeDiff(3, twin, cur)
+		rebuilt := make([]byte, PageSize)
+		copy(rebuilt, twin)
+		if d != nil {
+			d.Apply(rebuilt)
+		}
+		return bytes.Equal(rebuilt, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diffs from disjoint writers commute — applying them in either
+// order yields the same page (the multiple-writer protocol's requirement
+// in the absence of true sharing).
+func TestDisjointDiffsCommuteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, PageSize)
+		rng.Read(base)
+
+		curA := append([]byte(nil), base...)
+		curB := append([]byte(nil), base...)
+		// Writer A modifies the first half, writer B the second half.
+		for i := 0; i < 50; i++ {
+			curA[rng.Intn(PageSize/2)] ^= 0xFF
+			curB[PageSize/2+rng.Intn(PageSize/2)] ^= 0xFF
+		}
+		dA := MakeDiff(0, base, curA)
+		dB := MakeDiff(0, base, curB)
+
+		ab := append([]byte(nil), base...)
+		dA.Apply(ab)
+		dB.Apply(ab)
+		ba := append([]byte(nil), base...)
+		dB.Apply(ba)
+		dA.Apply(ba)
+		return bytes.Equal(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreFrameLazyZero(t *testing.T) {
+	s := NewStore()
+	if s.HasFrame(5) {
+		t.Fatal("frame exists before touch")
+	}
+	f := s.Frame(5)
+	if len(f) != PageSize {
+		t.Fatalf("frame len = %d", len(f))
+	}
+	for _, b := range f {
+		if b != 0 {
+			t.Fatal("frame not zeroed")
+		}
+	}
+	if !s.HasFrame(5) {
+		t.Fatal("frame missing after touch")
+	}
+	f[0] = 42
+	if s.Frame(5)[0] != 42 {
+		t.Fatal("frame not stable across calls")
+	}
+}
+
+func TestTwinLifecycle(t *testing.T) {
+	s := NewStore()
+	f := s.Frame(1)
+	f[10] = 7
+	s.MakeTwin(1)
+	if s.TwinCount() != 1 {
+		t.Fatalf("twin count = %d", s.TwinCount())
+	}
+	f[10] = 99
+	if s.Twin(1)[10] != 7 {
+		t.Fatal("twin mutated along with frame")
+	}
+	d := MakeDiff(1, s.Twin(1), f)
+	if d == nil || d.Runs[0].Offset != 10 {
+		t.Fatalf("diff = %+v", d)
+	}
+	s.DropTwin(1)
+	if s.Twin(1) != nil || s.TwinCount() != 0 {
+		t.Fatal("twin not dropped")
+	}
+}
+
+func TestDoubleTwinPanics(t *testing.T) {
+	s := NewStore()
+	s.MakeTwin(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second MakeTwin did not panic")
+		}
+	}()
+	s.MakeTwin(1)
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	a := NewAllocator()
+	x := a.Alloc(3, 1)
+	y := a.Alloc(8, 8)
+	if y%8 != 0 {
+		t.Fatalf("y = %d not 8-aligned", y)
+	}
+	if y <= x {
+		t.Fatalf("allocations overlap: x=%d y=%d", x, y)
+	}
+	p := a.AllocPages(2)
+	if p%PageSize != 0 {
+		t.Fatalf("page alloc %d not page aligned", p)
+	}
+	if a.Brk() != p+2*PageSize {
+		t.Fatalf("brk = %d", a.Brk())
+	}
+}
+
+func TestAllocatorDeterminism(t *testing.T) {
+	run := func() []Addr {
+		a := NewAllocator()
+		var out []Addr
+		out = append(out, a.Alloc(100, 8), a.AllocPages(3), a.Alloc(16, 16))
+		return out
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("allocator nondeterministic: %v vs %v", x, y)
+		}
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	f := make([]byte, PageSize)
+	PutU64(f, 0, 0xDEADBEEF12345678)
+	if GetU64(f, 0) != 0xDEADBEEF12345678 {
+		t.Fatal("u64 round trip failed")
+	}
+	PutU32(f, 8, 77)
+	if GetU32(f, 8) != 77 {
+		t.Fatal("u32 round trip failed")
+	}
+	PutF64(f, 16, -3.25)
+	if GetF64(f, 16) != -3.25 {
+		t.Fatal("f64 round trip failed")
+	}
+}
+
+func TestScalarPropertyRoundTrip(t *testing.T) {
+	f := func(v float64, off uint16) bool {
+		frame := make([]byte, PageSize)
+		o := int(off) % (PageSize - 8)
+		PutF64(frame, o, v)
+		got := GetF64(frame, o)
+		return got == v || (v != v && got != got) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package proto
+
+import (
+	"fmt"
+
+	"godsm/internal/lrc"
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+	"godsm/internal/sim"
+)
+
+// Fault resolves an access to an invalid page. onValid runs (in kernel
+// context) once the page is valid; the caller is expected to park the
+// faulting thread until then. Concurrent faults on the same page join the
+// in-flight fetch (request combining). Must be called from kernel context
+// with the page invalid.
+func (n *Node) Fault(p pagemem.PageID, onValid func()) {
+	if n.PageValid(p) {
+		panic(fmt.Sprintf("proto: Fault on valid page %d", p))
+	}
+	if f, ok := n.fetches[p]; ok {
+		f.waiters = append(f.waiters, onValid)
+		return
+	}
+
+	missing := n.missingDiffs(p)
+	pfst := n.pf[p]
+	delete(n.pf, p)
+
+	if len(missing) == 0 {
+		// Everything needed is already local (prefetch diff cache): apply
+		// without any network traffic. This is the paper's "pf-hit".
+		if pfst != nil {
+			n.St.FaultPfHit++
+		} else {
+			n.St.FaultNoPf++
+		}
+		n.St.CacheHits++
+		cost := n.C.FaultEntry + n.applyPending(p)
+		done := n.CPU.Service(cost, sim.CatDSM)
+		n.K.At(done, onValid)
+		return
+	}
+
+	// Classify the fault for Figure 3.
+	switch {
+	case pfst == nil:
+		n.St.FaultNoPf++
+	case anyOutside(missing, pfst.requested):
+		n.St.FaultPfInvalided++
+	default:
+		n.St.FaultPfLate++
+	}
+
+	n.trace("fault page=%d missing=%v", p, missing)
+	n.St.Misses++
+	f := &fetch{
+		page:    p,
+		needed:  make(map[lrc.IntervalID]bool, len(missing)),
+		waiters: []func(){onValid},
+		start:   n.K.Now(),
+	}
+	n.fetches[p] = f
+	n.issueDiffRequests(f, missing, n.C.FaultEntry)
+}
+
+func anyOutside(ids []lrc.IntervalID, set map[lrc.IntervalID]bool) bool {
+	for _, id := range ids {
+		if !set[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// issueDiffRequests sends one reliable diff request per distinct creator
+// for the missing intervals, charging extraCost plus per-message send cost.
+func (n *Node) issueDiffRequests(f *fetch, missing []lrc.IntervalID, extraCost sim.Time) {
+	nodes, groups := groupByNode(missing)
+	var msgs []*netsim.Message
+	for _, node := range nodes {
+		ids := groups[node]
+		for _, id := range ids {
+			f.needed[id] = true
+		}
+		msgs = append(msgs, &netsim.Message{
+			Src:      netsim.NodeID(n.ID),
+			Dst:      netsim.NodeID(node),
+			Size:     n.C.HeaderBytes + n.C.ReqBytes + 8*len(ids),
+			Reliable: true,
+			Kind:     KindDiffReq,
+			Payload:  &msgDiffReq{From: n.ID, Page: f.page, Wants: ids},
+		})
+	}
+	done := n.CPU.Service(extraCost+sim.Time(len(msgs))*n.C.MsgSend, sim.CatDSM)
+	for _, m := range msgs {
+		n.sendAfter(done, m)
+	}
+}
+
+// groupByNode buckets interval ids by creator. The returned node list is in
+// first-appearance order so that callers iterate deterministically.
+func groupByNode(ids []lrc.IntervalID) ([]int, map[int][]lrc.IntervalID) {
+	g := make(map[int][]lrc.IntervalID)
+	var order []int
+	for _, id := range ids {
+		if _, ok := g[id.Node]; !ok {
+			order = append(order, id.Node)
+		}
+		g[id.Node] = append(g[id.Node], id)
+	}
+	return order, g
+}
+
+// handleDiffReq services a demand or prefetch diff request: it lazily
+// creates the diff for this node's undiffed write notice if that notice is
+// requested, then replies with every requested diff.
+func (n *Node) handleDiffReq(req *msgDiffReq) {
+	ps := n.page(req.Page)
+	var cost sim.Time
+	items := make([]diffItem, 0, len(req.Wants))
+	for _, id := range req.Wants {
+		if id.Node != n.ID {
+			panic(fmt.Sprintf("proto: node %d asked for diff created by node %d", n.ID, id.Node))
+		}
+		if ps.hasUndiffed && ps.undiffed == id {
+			cost += n.makeOwnDiff(req.Page)
+			if req.Prefetch {
+				// The paper: prefetch requests are more expensive to
+				// service since they split the interval on a dirty page.
+				cost += n.C.PfSplit
+			}
+		}
+		d, ok := n.storedDiff(id, req.Page)
+		if !ok {
+			panic(fmt.Sprintf("proto: node %d has no diff for %v page %d", n.ID, id, req.Page))
+		}
+		items = append(items, diffItem{ID: id, Diff: d})
+	}
+	reply := &msgDiffReply{Page: req.Page, Items: items, Prefetch: req.Prefetch}
+	m := &netsim.Message{
+		Src:      netsim.NodeID(n.ID),
+		Dst:      netsim.NodeID(req.From),
+		Size:     n.C.diffReplySize(items),
+		Reliable: !req.Prefetch || n.PfReliable,
+		Kind:     KindDiffReply,
+		Payload:  reply,
+	}
+	if req.Prefetch {
+		m.Kind = KindPfReply
+	}
+	done := n.CPU.Service(cost+n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, m)
+}
+
+// handleDiffReply stores arriving diffs and completes any in-flight demand
+// fetch they satisfy.
+func (n *Node) handleDiffReply(rep *msgDiffReply) {
+	for _, it := range rep.Items {
+		n.putDiff(it.ID, rep.Page, it.Diff, rep.Prefetch)
+	}
+	if pfst, ok := n.pf[rep.Page]; ok && rep.Prefetch {
+		pfst.inflight--
+	}
+
+	f, ok := n.fetches[rep.Page]
+	if !ok {
+		return
+	}
+	for _, it := range rep.Items {
+		delete(f.needed, it.ID)
+	}
+	if len(f.needed) > 0 {
+		return
+	}
+	// All requested diffs arrived — but new write notices may have been
+	// taken in while we waited (another thread acquiring a lock); if so,
+	// keep fetching.
+	if missing := n.missingDiffs(f.page); len(missing) > 0 {
+		n.issueDiffRequests(f, missing, 0)
+		return
+	}
+	cost := n.applyPending(f.page)
+	done := n.CPU.Service(cost, sim.CatDSM)
+	delete(n.fetches, f.page)
+	n.St.MissStall += done - f.start
+	waiters := f.waiters
+	n.K.At(done, func() {
+		for _, w := range waiters {
+			w()
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"godsm/internal/lrc"
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+	"godsm/internal/sim"
+)
+
+// Diff garbage collection. TreadMarks's consistency records (intervals,
+// write notices, diffs, twins) grow without bound between synchronization
+// points; when storage exceeds a threshold the system performs a global
+// collection at the next barrier: every processor validates all of its
+// invalid pages (forcing every outstanding diff to be created and applied
+// everywhere), after which all records can be discarded. The paper notes
+// GC costs in two places: prefetching shortens GC by validating pages
+// sooner, and the separate prefetch diff heap relieves storage pressure —
+// both effects hold here because the prefetch cache is accounted
+// separately and prefetched pages validate without network traffic.
+//
+// Protocol: barrier arrivals report each node's diff-storage size. If any
+// exceeds GCThreshold, the release message carries a GC flag. Each node
+// then fetches and applies every pending diff (normal fault machinery) and
+// sends GC-DONE to the manager; when all N are done the manager broadcasts
+// GC-FLUSH, nodes discard diffs/records below the current vector time, and
+// only then do the barrier's waiters resume.
+
+// msgGCDone tells the manager this node has validated all its pages.
+type msgGCDone struct{ From int }
+
+// msgGCFlush tells every node to discard collected state and release the
+// barrier waiters.
+type msgGCFlush struct{}
+
+// gcValidate fetches and applies every pending diff at this node, then
+// reports completion. onDone runs (in kernel context) when local
+// validation finishes.
+func (n *Node) gcValidate(onDone func()) {
+	// Waves: fetching can itself surface new pending notices (interval
+	// splits while serving, eager-RC broadcasts), so re-scan until clean.
+	var wave func()
+	wave = func() {
+		var pages []pagemem.PageID
+		for p, ps := range n.pages {
+			if len(ps.pending) > 0 {
+				pages = append(pages, p)
+			}
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		if len(pages) == 0 {
+			onDone()
+			return
+		}
+		remaining := len(pages)
+		for _, p := range pages {
+			n.Fault(p, func() {
+				remaining--
+				if remaining == 0 {
+					wave()
+				}
+			})
+		}
+	}
+	wave()
+}
+
+// gcFlush discards all diffs, the prefetch cache, and interval records
+// covered by the current vector time. Records below gcBase are gone; the
+// protocol invariant (contiguity above gcBase) is maintained because every
+// node's VC covers gcBase after the collection.
+func (n *Node) gcFlush() {
+	n.diffs = make(map[lrc.IntervalID]map[pagemem.PageID]*pagemem.Diff)
+	n.diffBytes = 0
+	n.pfHeap = 0
+	n.pf = make(map[pagemem.PageID]*pfState)
+	for q := 0; q < n.N; q++ {
+		for s := range n.ivs[q] {
+			if int32(s) < n.vc[q] {
+				n.ivs[q][s] = nil
+			}
+		}
+		n.gcBase[q] = n.vc[q]
+	}
+	// Sanity: validation must have drained every pending list and created
+	// every outstanding own diff (each notice was pending somewhere).
+	for p, ps := range n.pages {
+		if len(ps.pending) != 0 {
+			panic(fmt.Sprintf("proto: gcFlush with pending diffs on page %d", p))
+		}
+		if n.N > 1 && ps.hasUndiffed {
+			panic(fmt.Sprintf("proto: gcFlush with undiffed notice on page %d", p))
+		}
+	}
+	n.St.GCRuns++
+}
+
+// gcSendDone reports local validation completion to the barrier manager.
+func (n *Node) gcSendDone() {
+	if n.ID == 0 {
+		n.gcDoneAtManager(0)
+		return
+	}
+	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: 0,
+		Size: n.C.HeaderBytes, Reliable: true, Kind: KindGCDone,
+		Payload: &msgGCDone{From: n.ID},
+	})
+}
+
+// gcDoneAtManager counts completions; the N-th broadcasts the flush.
+func (n *Node) gcDoneAtManager(from int) {
+	n.trace("gcDone from=%d count=%d", from, n.barrier.gcDone+1)
+	b := n.barrier
+	b.gcDone++
+	if b.gcDone < n.N {
+		return
+	}
+	b.gcDone = 0
+	var cost sim.Time
+	for q := 1; q < n.N; q++ {
+		cost += n.C.MsgSend
+		done := n.CPU.Service(cost, sim.CatDSM)
+		cost = 0
+		q := q
+		n.sendAfter(done, &netsim.Message{
+			Src: 0, Dst: netsim.NodeID(q),
+			Size: n.C.HeaderBytes, Reliable: true, Kind: KindGCFlush,
+			Payload: &msgGCFlush{},
+		})
+	}
+	n.handleGCFlush()
+}
+
+// handleGCFlush finishes the collection locally and releases the barrier.
+func (n *Node) handleGCFlush() {
+	n.gcFlush()
+	n.St.GCTime += n.K.Now() - n.gcStart
+	cb := n.gcResume
+	n.gcResume = nil
+	if cb == nil {
+		panic("proto: GC flush without a pending barrier release")
+	}
+	done := n.CPU.Service(n.C.IntervalOp, sim.CatDSM)
+	n.K.At(done, cb)
+}
+
+// gcBegin starts the validation phase after a GC-flagged barrier release;
+// resume runs once the global collection completes.
+func (n *Node) gcBegin(resume func()) {
+	n.trace("gcBegin")
+	n.gcResume = resume
+	n.gcStart = n.K.Now()
+	n.gcValidate(func() { n.gcSendDone() })
+}

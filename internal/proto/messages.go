@@ -1,0 +1,144 @@
+package proto
+
+import (
+	"godsm/internal/lrc"
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+)
+
+// Message kinds for traffic statistics.
+const (
+	KindDiffReq netsim.Kind = iota
+	KindDiffReply
+	KindPfReq
+	KindPfReply
+	KindLockAcq
+	KindLockForward
+	KindLockGrant
+	KindBarArrive
+	KindBarRelease
+	KindGCDone
+	KindGCFlush
+	KindLockReturn
+	KindLockRetry
+	KindEagerNotice
+	numKinds
+)
+
+// KindName returns a human-readable label for a message kind.
+func KindName(k netsim.Kind) string {
+	switch k {
+	case KindDiffReq:
+		return "diff-req"
+	case KindDiffReply:
+		return "diff-reply"
+	case KindPfReq:
+		return "pf-req"
+	case KindPfReply:
+		return "pf-reply"
+	case KindLockAcq:
+		return "lock-acq"
+	case KindLockForward:
+		return "lock-fwd"
+	case KindLockGrant:
+		return "lock-grant"
+	case KindBarArrive:
+		return "bar-arrive"
+	case KindBarRelease:
+		return "bar-release"
+	case KindGCDone:
+		return "gc-done"
+	case KindGCFlush:
+		return "gc-flush"
+	case KindLockReturn:
+		return "lock-return"
+	case KindLockRetry:
+		return "lock-retry"
+	case KindEagerNotice:
+		return "eager-notice"
+	default:
+		return "?"
+	}
+}
+
+// msgDiffReq asks the creator of some intervals for their diffs of Page.
+// Prefetch requests use the same shape but are unreliable and tagged.
+type msgDiffReq struct {
+	From     int
+	Page     pagemem.PageID
+	Wants    []lrc.IntervalID
+	Prefetch bool
+}
+
+// diffItem is one diff keyed by the interval that produced it.
+type diffItem struct {
+	ID   lrc.IntervalID
+	Diff *pagemem.Diff // nil when the interval turned out to have no changes
+}
+
+// msgDiffReply returns the requested diffs.
+type msgDiffReply struct {
+	Page     pagemem.PageID
+	Items    []diffItem
+	Prefetch bool
+}
+
+// msgLockAcq is an acquire request, sent to the lock's manager (and
+// forwarded by the manager to the previous requester).
+type msgLockAcq struct {
+	Lock      int
+	Requester int
+	VC        lrc.VC // requester's vector time at the request
+	Seq       int    // requester's per-lock acquire sequence number
+	PrevSeq   int    // set on forward: the predecessor tenure this chains after
+}
+
+// msgLockGrant transfers lock ownership, piggybacking the write notices the
+// requester has not yet seen.
+type msgLockGrant struct {
+	Lock int
+	VC   lrc.VC // granter's vector time
+	Ivs  []*lrc.Interval
+}
+
+// msgEagerNotice broadcasts a just-closed interval's write notices at
+// release time (eager release consistency mode).
+type msgEagerNotice struct {
+	Iv *lrc.Interval
+}
+
+// msgBarArrive announces arrival at a barrier, carrying the arriver's new
+// intervals since its previous barrier.
+type msgBarArrive struct {
+	Barrier   int
+	From      int
+	VC        lrc.VC
+	Ivs       []*lrc.Interval
+	DiffBytes int64 // local diff-storage size, for the GC trigger
+}
+
+// msgBarRelease releases a barrier, carrying the merged vector time and the
+// intervals the receiver lacks.
+type msgBarRelease struct {
+	Barrier int
+	VC      lrc.VC
+	Ivs     []*lrc.Interval
+	GC      bool // a global diff garbage collection runs before resuming
+}
+
+// ivsWireSize estimates the on-wire size of a batch of interval records.
+func (c *Costs) ivsWireSize(ivs []*lrc.Interval, nprocs int) int {
+	n := 0
+	for _, iv := range ivs {
+		n += 8 + 4*nprocs + c.PerNoticeByt*len(iv.Pages)
+	}
+	return n
+}
+
+func (c *Costs) diffReplySize(items []diffItem) int {
+	n := c.HeaderBytes
+	for _, it := range items {
+		n += 12 + it.Diff.WireSize()
+	}
+	return n
+}

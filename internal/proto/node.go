@@ -1,0 +1,614 @@
+// Package proto implements a TreadMarks-style software DSM protocol engine:
+// lazy release consistency maintained with vector timestamps, intervals and
+// write notices; a multiple-writer twin/diff scheme; distributed queue-based
+// locks with ownership caching; a centralized barrier manager; non-binding
+// prefetching with a separate prefetch diff cache; and diff garbage
+// collection.
+//
+// Each simulated processor owns one Node. Nodes communicate only through
+// the simulated network and execute protocol work on their simulated CPU,
+// so all protocol costs land in the right processor-time categories.
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"godsm/internal/lrc"
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+	"godsm/internal/sim"
+	"godsm/internal/stats"
+)
+
+// Node is one processor's protocol engine.
+type Node struct {
+	ID int
+	N  int // number of processors
+
+	K   *sim.Kernel
+	CPU *sim.CPU
+	C   *Costs
+	St  *stats.Node
+
+	// Send transmits a message on the simulated network; injected by the
+	// cluster wiring. Returns the delivery time or -1 if dropped.
+	Send func(*netsim.Message) sim.Time
+
+	Store *pagemem.Store
+
+	mt bool // multithreading active: arrivals pay the async-signal surcharge
+
+	// Lazy release consistency state.
+	vc  lrc.VC
+	ivs [][]*lrc.Interval // ivs[node][seq-1]: all known interval records
+
+	// Diff store: diffs[creator interval][page]. Holds both locally created
+	// diffs and diffs fetched from other nodes; nil entries mark intervals
+	// that produced no changes for the page.
+	diffs map[lrc.IntervalID]map[pagemem.PageID]*pagemem.Diff
+
+	// Per-page protocol state (created lazily; absence means valid+clean).
+	pages map[pagemem.PageID]*pageState
+
+	// Pages twinned during the current (open) interval; becomes the next
+	// interval's write notices.
+	pendingNotices []pagemem.PageID
+
+	// Own intervals not yet shipped to the barrier manager.
+	ownSinceBarrier []*lrc.Interval
+
+	// In-flight demand fetches, by page (request combining).
+	fetches map[pagemem.PageID]*fetch
+
+	// Prefetch state, by page.
+	pf        map[pagemem.PageID]*pfState
+	pfHeap    int64 // bytes in the prefetch diff cache (the "separate heap")
+	diffBytes int64 // bytes of ordinary stored diffs (GC accounting)
+
+	locks    map[int]*lockState
+	barrier  *barrierState // non-nil only on the barrier manager (node 0)
+	barWait  func()        // continuation for an in-progress barrier wait
+	barStart sim.Time      // when this node arrived at the barrier
+
+	// Deferred invalidations (barrier-manager server role; see
+	// recordDeferred).
+	deferredInval []*lrc.Interval
+	deferredSet   map[lrc.IntervalID]bool
+
+	// Garbage collection state (gc.go).
+	gcBase   lrc.VC   // records below this vector time have been collected
+	gcResume func()   // stashed barrier release during a collection
+	gcStart  sim.Time // when the current collection began
+
+	// ThrottlePf > 0 drops every ThrottlePf-th prefetch at issue time
+	// (Section 5.1's RADIX optimization).
+	ThrottlePf int
+	pfCounter  int
+
+	// GCThreshold triggers diff garbage collection at barriers once
+	// diffBytes exceeds it. Zero disables GC.
+	GCThreshold int64
+
+	// Ablation switches (see the harness's ablation experiment).
+
+	// NoTokenCache returns the lock token to its manager at every release
+	// (centralized locks): no last-holder re-acquire, and every acquire
+	// pays the manager round trip.
+	NoTokenCache bool
+	// PfReliable makes prefetch messages reliable (never dropped), so
+	// congested prefetches queue instead of falling back to demand fetches.
+	PfReliable bool
+	// PfHeapSharedGC counts the prefetch diff cache toward the GC trigger,
+	// removing the paper's separate-heap relief (footnote 6).
+	PfHeapSharedGC bool
+
+	// EagerRC broadcasts write notices to every node at each release —
+	// eager release consistency (Munin-style), the protocol TreadMarks's
+	// laziness is measured against (Keleher et al.). Invalidations arrive
+	// ahead of synchronization; the consistency metadata still flows
+	// through the synchronization messages.
+	EagerRC bool
+}
+
+// pageState tracks one page's coherence state at this node.
+type pageState struct {
+	// pending are write-notice intervals (by other nodes) whose diffs have
+	// not yet been applied to the local frame. Non-empty means invalid.
+	pending []lrc.IntervalID
+
+	// twinned: the page has a twin and is collecting local modifications.
+	twinned bool
+
+	// undiffed: the (single) own write notice whose diff has not yet been
+	// created; zero Node+Seq when none. See DESIGN.md §4.
+	undiffed    lrc.IntervalID
+	hasUndiffed bool
+}
+
+type fetch struct {
+	page    pagemem.PageID
+	needed  map[lrc.IntervalID]bool
+	waiters []func()
+	start   sim.Time
+}
+
+type pfState struct {
+	requested map[lrc.IntervalID]bool // diffs the prefetch asked for
+	inflight  int                     // outstanding request messages
+}
+
+// NewNode constructs a protocol node. Wire Send before use.
+func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs, st *stats.Node) *Node {
+	nd := &Node{
+		ID:      id,
+		N:       n,
+		K:       k,
+		CPU:     cpu,
+		C:       c,
+		St:      st,
+		Store:   pagemem.NewStore(),
+		vc:      lrc.NewVC(n),
+		ivs:     make([][]*lrc.Interval, n),
+		diffs:   make(map[lrc.IntervalID]map[pagemem.PageID]*pagemem.Diff),
+		pages:   make(map[pagemem.PageID]*pageState),
+		fetches: make(map[pagemem.PageID]*fetch),
+		pf:      make(map[pagemem.PageID]*pfState),
+		locks:   make(map[int]*lockState),
+		gcBase:  lrc.NewVC(n),
+	}
+	if id == 0 {
+		nd.barrier = &barrierState{}
+	}
+	return nd
+}
+
+// SetMT enables or disables the multithreading arrival surcharge.
+func (n *Node) SetMT(on bool) { n.mt = on }
+
+// VC returns the node's current vector time (read-only; do not mutate).
+func (n *Node) VC() lrc.VC { return n.vc }
+
+func (n *Node) page(p pagemem.PageID) *pageState {
+	ps, ok := n.pages[p]
+	if !ok {
+		ps = &pageState{}
+		n.pages[p] = ps
+	}
+	return ps
+}
+
+// PageValid reports whether page p may be read locally without a fault.
+func (n *Node) PageValid(p pagemem.PageID) bool {
+	ps, ok := n.pages[p]
+	return !ok || len(ps.pending) == 0
+}
+
+// PageWritable reports whether p is valid and already twinned, i.e. a write
+// needs no protocol action.
+func (n *Node) PageWritable(p pagemem.PageID) bool {
+	ps, ok := n.pages[p]
+	return ok && len(ps.pending) == 0 && ps.twinned
+}
+
+// Frame exposes the local frame for direct data access by the env layer.
+func (n *Node) Frame(p pagemem.PageID) []byte { return n.Store.Frame(p) }
+
+// EnsureWritable prepares a valid page for local modification: on the first
+// write since the page was last clean it creates the twin and records the
+// pending write notice for the current open interval. The page must be
+// valid. Returns the CPU cost charged (already applied as DSM overhead).
+func (n *Node) EnsureWritable(p pagemem.PageID) {
+	ps := n.page(p)
+	if len(ps.pending) != 0 {
+		panic(fmt.Sprintf("proto: EnsureWritable on invalid page %d (node %d)", p, n.ID))
+	}
+	if ps.twinned {
+		return
+	}
+	n.Store.MakeTwin(p)
+	if Trace != nil {
+		n.trace("twin page=%d", p)
+	}
+	ps.twinned = true
+	n.St.TwinsMade++
+	n.pendingNotices = append(n.pendingNotices, p)
+	n.CPU.Service(n.C.TwinMake, sim.CatDSM)
+}
+
+// closeInterval ends the current open interval, publishing write notices
+// for every page twinned during it. Returns the new interval record, or nil
+// if the interval was empty (no pages twinned).
+func (n *Node) closeInterval() *lrc.Interval {
+	if len(n.pendingNotices) == 0 {
+		return nil
+	}
+	pages := append([]pagemem.PageID(nil), n.pendingNotices...)
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	n.pendingNotices = n.pendingNotices[:0]
+
+	n.vc[n.ID]++
+	iv := &lrc.Interval{
+		ID:    lrc.IntervalID{Node: n.ID, Seq: n.vc[n.ID]},
+		VC:    n.vc.Clone(),
+		Pages: pages,
+	}
+	if Trace != nil {
+		n.trace("closeInterval %v pages=%v vc=%v", iv.ID, iv.Pages, iv.VC)
+	}
+	n.ivs[n.ID] = append(n.ivs[n.ID], iv)
+	n.ownSinceBarrier = append(n.ownSinceBarrier, iv)
+	for _, p := range pages {
+		ps := n.page(p)
+		if ps.hasUndiffed {
+			panic(fmt.Sprintf("proto: page %d already has an undiffed notice", p))
+		}
+		ps.undiffed = iv.ID
+		ps.hasUndiffed = true
+	}
+	n.CPU.Service(n.C.IntervalOp, sim.CatDSM)
+	if n.EagerRC {
+		n.broadcastNotice(iv)
+	}
+	return iv
+}
+
+// broadcastNotice pushes a just-closed interval's write notices to every
+// other node (eager release consistency).
+func (n *Node) broadcastNotice(iv *lrc.Interval) {
+	size := n.C.HeaderBytes + 8 + 4*n.N + n.C.PerNoticeByt*len(iv.Pages)
+	var cost sim.Time
+	for q := 0; q < n.N; q++ {
+		if q == n.ID {
+			continue
+		}
+		cost += n.C.MsgSend
+		done := n.CPU.Service(cost, sim.CatDSM)
+		cost = 0
+		n.sendAfter(done, &netsim.Message{
+			Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(q),
+			Size: size, Reliable: true, Kind: KindEagerNotice,
+			Payload: &msgEagerNotice{Iv: iv},
+		})
+	}
+}
+
+// handleEagerNotice records and applies an eagerly-pushed write notice.
+// Only the creator's own vector entry is advanced: per-pair FIFO delivery
+// guarantees the creator's records arrive contiguously, and advancing it
+// keeps this node's subsequent intervals causally after the data they may
+// come to depend on. Third-party entries of the interval's VC are NOT
+// merged (their records may not have arrived yet).
+func (n *Node) handleEagerNotice(m *msgEagerNotice) {
+	iv := m.Iv
+	cost := n.recordInterval(iv)
+	if n.vc[iv.ID.Node] < iv.ID.Seq {
+		n.vc[iv.ID.Node] = iv.ID.Seq
+	}
+	n.CPU.Service(cost, sim.CatDSM)
+}
+
+// recordInterval adds a received interval record and invalidates the pages
+// it names. Duplicate records are ignored, except that a record previously
+// taken in deferred (server role — see recordDeferred) is invalidated now.
+// Returns the CPU cost to charge.
+func (n *Node) recordInterval(iv *lrc.Interval) sim.Time {
+	q := iv.ID.Node
+	if q == n.ID {
+		return 0 // our own intervals are always already recorded
+	}
+	idx := int(iv.ID.Seq) - 1
+	for len(n.ivs[q]) <= idx {
+		n.ivs[q] = append(n.ivs[q], nil)
+	}
+	if n.ivs[q][idx] != nil {
+		if n.deferredSet[iv.ID] {
+			delete(n.deferredSet, iv.ID)
+			n.invalidate(iv)
+			return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
+		}
+		return 0
+	}
+	n.ivs[q][idx] = iv
+	if Trace != nil {
+		n.trace("recordInterval %v pages=%v", iv.ID, iv.Pages)
+	}
+	n.invalidate(iv)
+	return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
+}
+
+// invalidate marks iv's pages pending at this node.
+func (n *Node) invalidate(iv *lrc.Interval) {
+	for _, p := range iv.Pages {
+		ps := n.page(p)
+		ps.pending = append(ps.pending, iv.ID)
+	}
+}
+
+// recordDeferred stores an interval record WITHOUT invalidating local pages.
+// The barrier manager uses it for arrival intervals: acting as a server, it
+// must be able to forward the records at release, but its own memory view
+// must not change until it passes the barrier itself — otherwise diffs
+// applied mid-critical-section would not be covered by its next interval's
+// vector time, and third-party readers would order dependent writes
+// backwards. flushDeferred performs the postponed invalidations.
+func (n *Node) recordDeferred(iv *lrc.Interval) sim.Time {
+	q := iv.ID.Node
+	if q == n.ID {
+		return 0
+	}
+	idx := int(iv.ID.Seq) - 1
+	for len(n.ivs[q]) <= idx {
+		n.ivs[q] = append(n.ivs[q], nil)
+	}
+	if n.ivs[q][idx] != nil {
+		return 0 // already recorded (and invalidated) through a sync path
+	}
+	n.ivs[q][idx] = iv
+	if Trace != nil {
+		n.trace("recordDeferred %v pages=%v", iv.ID, iv.Pages)
+	}
+	if n.deferredSet == nil {
+		n.deferredSet = make(map[lrc.IntervalID]bool)
+	}
+	n.deferredSet[iv.ID] = true
+	n.deferredInval = append(n.deferredInval, iv)
+	return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
+}
+
+// flushDeferred invalidates every deferred record that has not been
+// invalidated through another path meanwhile.
+func (n *Node) flushDeferred() {
+	for _, iv := range n.deferredInval {
+		if n.deferredSet[iv.ID] {
+			delete(n.deferredSet, iv.ID)
+			n.invalidate(iv)
+		}
+	}
+	n.deferredInval = n.deferredInval[:0]
+}
+
+// intake processes a batch of interval records plus the sender's vector
+// time, as delivered by a lock grant or barrier release. It returns the
+// CPU cost to charge.
+func (n *Node) intake(ivs []*lrc.Interval, v lrc.VC) sim.Time {
+	var cost sim.Time
+	for _, iv := range ivs {
+		cost += n.recordInterval(iv)
+	}
+	n.vc.Merge(v)
+	n.checkContiguity()
+	return cost
+}
+
+// checkContiguity asserts the protocol invariant that the node holds a
+// record for every interval its vector time covers.
+func (n *Node) checkContiguity() {
+	for q := 0; q < n.N; q++ {
+		if q == n.ID {
+			continue
+		}
+		if int32(len(n.ivs[q])) < n.vc[q] {
+			panic(fmt.Sprintf("proto: node %d VC[%d]=%d but only %d records",
+				n.ID, q, n.vc[q], len(n.ivs[q])))
+		}
+		for s := n.gcBase[q]; s < n.vc[q]; s++ {
+			if n.ivs[q][s] == nil {
+				panic(fmt.Sprintf("proto: node %d missing record (%d,%d) under VC %v",
+					n.ID, q, s+1, n.vc))
+			}
+		}
+	}
+}
+
+// missingIvs returns the interval records this node knows about that are
+// not covered by v, excluding intervals created by `exclude` (pass -1 to
+// exclude none). Used to build lock grants and barrier releases.
+func (n *Node) missingIvs(v lrc.VC, exclude int) []*lrc.Interval {
+	var out []*lrc.Interval
+	for q := 0; q < n.N; q++ {
+		if q == exclude {
+			continue
+		}
+		for s := v[q]; s < n.vc[q]; s++ {
+			iv := n.ivs[q][s]
+			if iv == nil {
+				panic("proto: missingIvs hit a gap")
+			}
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// storedDiff fetches a stored diff; ok distinguishes "stored as empty".
+func (n *Node) storedDiff(id lrc.IntervalID, p pagemem.PageID) (*pagemem.Diff, bool) {
+	m, ok := n.diffs[id]
+	if !ok {
+		return nil, false
+	}
+	d, ok := m[p]
+	return d, ok
+}
+
+func (n *Node) putDiff(id lrc.IntervalID, p pagemem.PageID, d *pagemem.Diff, prefetched bool) {
+	m, ok := n.diffs[id]
+	if !ok {
+		m = make(map[pagemem.PageID]*pagemem.Diff)
+		n.diffs[id] = m
+	}
+	if _, dup := m[p]; dup {
+		return
+	}
+	m[p] = d
+	if prefetched {
+		n.pfHeap += int64(d.WireSize())
+	} else {
+		n.diffBytes += int64(d.WireSize())
+	}
+}
+
+// makeOwnDiff lazily creates the diff for this node's undiffed write notice
+// on page p (if any), clearing the twin. Returns the CPU cost incurred.
+func (n *Node) makeOwnDiff(p pagemem.PageID) sim.Time {
+	ps := n.page(p)
+	if !ps.twinned {
+		return 0
+	}
+	twin := n.Store.Twin(p)
+	frame := n.Store.Frame(p)
+	d := pagemem.MakeDiff(p, twin, frame)
+	if Trace != nil {
+		db := 0
+		if d != nil {
+			db = d.DataBytes()
+		}
+		n.trace("makeOwnDiff page=%d bytes=%d", p, db)
+	}
+	cost := n.C.DiffMake + sim.Time(n.C.DiffScanNs*float64(pagemem.PageSize))
+	n.Store.DropTwin(p)
+	ps.twinned = false
+	n.St.DiffsMade++
+
+	// Attribute the diff to the undiffed notice. If the page was twinned
+	// during the still-open interval (no closed notice yet), close the
+	// interval now — the paper's "interval split" on prefetch of a dirty
+	// page; demand requests can only name closed notices, so for them the
+	// undiffed notice always exists.
+	if !ps.hasUndiffed {
+		if iv := n.closeInterval(); iv == nil || !ps.hasUndiffed {
+			panic("proto: dirty page without a notice after interval close")
+		}
+	}
+	id := ps.undiffed
+	ps.hasUndiffed = false
+	if d == nil {
+		d = &pagemem.Diff{Page: p} // store an explicit empty diff
+	}
+	n.putDiff(id, p, d, false)
+	return cost
+}
+
+// applyPending applies every pending diff for p, in causal order, to the
+// local frame. All pending diffs must be present locally. Returns the CPU
+// cost.
+//
+// If the page is locally dirty, the node's own modifications are committed
+// as a diff FIRST (TreadMarks's rule). Otherwise later local writes —
+// which may causally depend on the remote data being applied now — would
+// ride in the old (concurrent) interval's lazily-created diff, and a third
+// node applying diffs in causal order would order the dependency backwards.
+func (n *Node) applyPending(p pagemem.PageID) sim.Time {
+	ps := n.page(p)
+	if len(ps.pending) == 0 {
+		return 0
+	}
+	var cost sim.Time
+	if ps.twinned {
+		cost += n.makeOwnDiff(p)
+	}
+
+	ivs := make([]*lrc.Interval, 0, len(ps.pending))
+	for _, id := range ps.pending {
+		iv := n.ivs[id.Node][id.Seq-1]
+		if iv == nil {
+			panic("proto: pending interval without record")
+		}
+		ivs = append(ivs, iv)
+	}
+	lrc.SortCausally(ivs)
+
+	frame := n.Store.Frame(p)
+	for _, iv := range ivs {
+		d, ok := n.storedDiff(iv.ID, p)
+		if !ok {
+			panic(fmt.Sprintf("proto: node %d applying page %d without diff for %v",
+				n.ID, p, iv.ID))
+		}
+		if d != nil && len(d.Runs) > 0 {
+			if Trace != nil {
+				n.trace("apply %v page=%d bytes=%d", iv.ID, p, d.DataBytes())
+			}
+			d.Apply(frame)
+			cost += n.C.DiffApply + sim.Time(n.C.ApplyNs*float64(d.DataBytes()))
+			n.St.DiffsApplied++
+		} else {
+			cost += n.C.DiffApply / 2
+		}
+	}
+	ps.pending = ps.pending[:0]
+	return cost
+}
+
+// missingDiffs lists the pending intervals for p whose diffs are not yet
+// held locally.
+func (n *Node) missingDiffs(p pagemem.PageID) []lrc.IntervalID {
+	ps := n.page(p)
+	var out []lrc.IntervalID
+	for _, id := range ps.pending {
+		if _, ok := n.storedDiff(id, p); !ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Deliver dispatches an arriving network message. It charges receive-side
+// CPU costs (plus the async-signal surcharge under multithreading) and then
+// runs the handler.
+func (n *Node) Deliver(m *netsim.Message) {
+	recv := n.C.MsgRecv
+	if n.mt {
+		recv += n.C.MTSig
+	}
+	n.CPU.Service(recv, sim.CatDSM)
+	switch pl := m.Payload.(type) {
+	case *msgDiffReq:
+		n.handleDiffReq(pl)
+	case *msgDiffReply:
+		n.handleDiffReply(pl)
+	case *msgLockAcq:
+		switch m.Kind {
+		case KindLockAcq:
+			n.handleLockAcqAtManager(pl)
+		case KindLockRetry:
+			n.handleLockRetry(pl)
+		default:
+			n.handleLockForward(pl)
+		}
+	case *msgLockGrant:
+		if m.Kind == KindLockReturn {
+			n.handleLockReturn(pl)
+		} else {
+			n.handleLockGrant(pl)
+		}
+	case *msgBarArrive:
+		n.handleBarArrive(pl)
+	case *msgBarRelease:
+		n.handleBarRelease(pl)
+	case *msgEagerNotice:
+		n.handleEagerNotice(pl)
+	case *msgGCDone:
+		n.gcDoneAtManager(pl.From)
+	case *msgGCFlush:
+		n.handleGCFlush()
+	default:
+		panic(fmt.Sprintf("proto: unknown message payload %T", m.Payload))
+	}
+}
+
+// sendAfter schedules m to be transmitted once the sending CPU work
+// completes at time t.
+func (n *Node) sendAfter(t sim.Time, m *netsim.Message) {
+	n.K.At(t, func() { n.Send(m) })
+}
+
+// Trace, when non-nil, receives a line for every protocol event at this
+// node (debugging aid; no stable format).
+var Trace func(node int, format string, args ...any)
+
+func (n *Node) trace(format string, args ...any) {
+	if Trace != nil {
+		Trace(n.ID, format, args...)
+	}
+}

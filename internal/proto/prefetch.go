@@ -1,0 +1,95 @@
+package proto
+
+import (
+	"godsm/internal/lrc"
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+	"godsm/internal/sim"
+)
+
+// Prefetch issues a software-controlled non-binding prefetch for page p,
+// as inserted by the application (Section 3 of the paper). The call is
+// non-blocking: replies land in the prefetch diff cache and are applied at
+// the real access. Unnecessary prefetches — page valid, fetch already in
+// flight, or all diffs already cached — are dropped after a cheap check.
+// Prefetch request and reply messages are unreliable; if they are lost the
+// real access simply performs a normal (reliable) fetch.
+//
+// It returns the number of request messages issued (0 for a dropped
+// prefetch), which the caller can use for pacing decisions.
+func (n *Node) Prefetch(p pagemem.PageID) int {
+	n.St.PfCalls++
+
+	// Section 5.1: optional throttling (used for RADIX) discards a
+	// fraction of dynamic prefetches to relieve the network.
+	if n.ThrottlePf > 0 {
+		n.pfCounter++
+		if n.pfCounter%n.ThrottlePf == 0 {
+			n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
+			return 0
+		}
+	}
+
+	if n.PageValid(p) || n.fetches[p] != nil {
+		n.St.PfUnnecessary++
+		n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
+		return 0
+	}
+	if st, ok := n.pf[p]; ok && st.inflight > 0 {
+		n.St.PfUnnecessary++
+		n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
+		return 0
+	}
+	missing := n.missingDiffs(p)
+	if len(missing) == 0 {
+		// Invalid but fully cached already — nothing to request.
+		n.St.PfUnnecessary++
+		n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
+		return 0
+	}
+
+	st, ok := n.pf[p]
+	if !ok {
+		st = &pfState{requested: make(map[lrc.IntervalID]bool)}
+		n.pf[p] = st
+	}
+	nodes, groups := groupByNode(missing)
+	var msgs []*netsim.Message
+	for _, node := range nodes {
+		ids := groups[node]
+		for _, id := range ids {
+			st.requested[id] = true
+		}
+		msgs = append(msgs, &netsim.Message{
+			Src:      netsim.NodeID(n.ID),
+			Dst:      netsim.NodeID(node),
+			Size:     n.C.HeaderBytes + n.C.ReqBytes + 8*len(ids),
+			Reliable: n.PfReliable,
+			Kind:     KindPfReq,
+			Payload:  &msgDiffReq{From: n.ID, Page: p, Wants: ids, Prefetch: true},
+		})
+	}
+	st.inflight += len(msgs)
+	n.St.PfMsgs += int64(len(msgs))
+	// The paper charges ~140 µs of software overhead per prefetch that
+	// generates remote messages; additional messages to further writers of
+	// the same page cost one send each.
+	cost := n.C.PfIssue + sim.Time(len(msgs)-1)*n.C.MsgSend
+	done := n.CPU.Service(cost, sim.CatPrefetchOv)
+	for _, m := range msgs {
+		m := m
+		n.K.At(done, func() {
+			if n.Send(m) < 0 {
+				n.St.PfDropped++
+			}
+		})
+	}
+	return len(msgs)
+}
+
+// PfHeapBytes returns the current size of the prefetch diff cache (the
+// "separate heap managed by the garbage collector" in the paper).
+func (n *Node) PfHeapBytes() int64 { return n.pfHeap }
+
+// DiffHeapBytes returns the bytes of ordinary stored diffs.
+func (n *Node) DiffHeapBytes() int64 { return n.diffBytes }

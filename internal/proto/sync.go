@@ -1,0 +1,405 @@
+package proto
+
+import (
+	"fmt"
+
+	"godsm/internal/lrc"
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+)
+
+// lockState is one lock's state at one node. The algorithm is TreadMarks's
+// distributed queue: a static manager (lock id mod N) tracks the last
+// requester and forwards each new acquire to it; the previous requester
+// grants directly to its successor when it releases, piggybacking the write
+// notices the successor lacks. Token ownership is cached: the last holder
+// re-acquires locally with no messages.
+type lockState struct {
+	// Manager-side.
+	lastRequester int
+
+	// Holder-side.
+	owned      bool        // this node holds the token
+	held       bool        // a local thread currently holds the lock
+	pendingFwd *msgLockAcq // successor waiting for our release
+	waiting    func()      // local continuation once our grant arrives
+	reqStart   sim.Time
+
+	// Manager-side, NoTokenCache only: a redirected request waiting for
+	// the token to come back from its last holder.
+	retryQ *msgLockAcq
+
+	// Tenure tagging: mySeq counts this node's acquires of the lock;
+	// lastReqSeq (manager side) is the sequence of lastRequester's acquire.
+	// Forwards carry the predecessor tenure so a node can tell whether a
+	// forwarded request chains after its current tenure or a finished one
+	// (the distinction matters once tokens return to the manager).
+	mySeq      int
+	lastReqSeq int
+}
+
+func (n *Node) lock(id int) *lockState {
+	ls, ok := n.locks[id]
+	if !ok {
+		ls = &lockState{lastRequester: -1}
+		if n.lockManager(id) == n.ID {
+			ls.owned = true // the manager owns every token initially
+			ls.lastRequester = n.ID
+		}
+		n.locks[id] = ls
+	}
+	return ls
+}
+
+func (n *Node) lockManager(id int) int { return id % n.N }
+
+// AcquireLock acquires lock id. If the token is cached locally the acquire
+// completes immediately and AcquireLock returns true; otherwise it returns
+// false and onGranted runs (in kernel context) when the grant arrives.
+func (n *Node) AcquireLock(id int, onGranted func()) (immediate bool) {
+	ls := n.lock(id)
+	if ls.held {
+		panic(fmt.Sprintf("proto: node %d re-acquiring held lock %d (combine locally first)", n.ID, id))
+	}
+	if ls.waiting != nil {
+		panic(fmt.Sprintf("proto: node %d has concurrent remote acquires of lock %d", n.ID, id))
+	}
+	if ls.owned && !n.NoTokenCache {
+		ls.held = true
+		n.St.LocalLockAcqs++
+		return true
+	}
+
+	n.St.RemoteLockAcqs++
+	ls.waiting = onGranted
+	ls.reqStart = n.K.Now()
+	ls.mySeq++
+	req := &msgLockAcq{Lock: id, Requester: n.ID, VC: n.vc.Clone(), Seq: ls.mySeq}
+	mgr := n.lockManager(id)
+	if mgr == n.ID {
+		done := n.CPU.Service(n.C.LockMgr, sim.CatDSM)
+		n.K.At(done, func() { n.handleLockAcqAtManager(req) })
+		return false
+	}
+	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(mgr),
+		Size:     n.C.HeaderBytes + n.C.ReqBytes + 4*n.N,
+		Reliable: true, Kind: KindLockAcq, Payload: req,
+	})
+	return false
+}
+
+// handleLockAcqAtManager runs at the lock's manager: it records the new
+// tail of the queue and forwards the request to the previous requester.
+func (n *Node) handleLockAcqAtManager(req *msgLockAcq) {
+	ls := n.lock(req.Lock)
+	n.trace("lockAcqMgr lock=%d req=%d prev=%d", req.Lock, req.Requester, ls.lastRequester)
+	prev := ls.lastRequester
+	prevSeq := ls.lastReqSeq
+	ls.lastRequester = req.Requester
+	ls.lastReqSeq = req.Seq
+	req.PrevSeq = prevSeq
+	if prev == req.Requester && !n.NoTokenCache {
+		// With token caching the last requester re-acquires locally and
+		// never contacts the manager; reaching here is a protocol bug.
+		panic(fmt.Sprintf("proto: lock %d requester %d already owns the token", req.Lock, req.Requester))
+	}
+	if prev == n.ID {
+		n.handleLockForward(req)
+		return
+	}
+	done := n.CPU.Service(n.C.LockMgr+n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(prev),
+		Size:     n.C.HeaderBytes + n.C.ReqBytes + 4*n.N,
+		Reliable: true, Kind: KindLockForward, Payload: req,
+	})
+}
+
+// handleLockForward runs at the previous requester: grant now if the token
+// is here and free, remember the successor until our release if we hold or
+// will hold it, or (NoTokenCache only) redirect to the manager if the token
+// has already been returned.
+func (n *Node) handleLockForward(req *msgLockAcq) {
+	ls := n.lock(req.Lock)
+	n.trace("lockFwd lock=%d req=%d owned=%v held=%v waiting=%v pfwd=%v", req.Lock, req.Requester, ls.owned, ls.held, ls.waiting != nil, ls.pendingFwd != nil)
+	if ls.pendingFwd != nil {
+		panic(fmt.Sprintf("proto: lock %d already has a pending successor", req.Lock))
+	}
+	if ls.owned && !ls.held {
+		// Token here and free: grant even if we are ourselves re-queued
+		// (NoTokenCache) — our own grant will come back through the chain.
+		n.grantLock(req)
+		return
+	}
+	if ls.held {
+		if n.NoTokenCache && req.PrevSeq != ls.mySeq {
+			panic(fmt.Sprintf("proto: lock %d forward for stale tenure while held", req.Lock))
+		}
+		ls.pendingFwd = req
+		return
+	}
+	if ls.waiting != nil && (!n.NoTokenCache || req.PrevSeq == ls.mySeq) {
+		// The request chains after our pending tenure.
+		ls.pendingFwd = req
+		return
+	}
+	if !n.NoTokenCache {
+		panic(fmt.Sprintf("proto: node %d forwarded lock %d it does not own", n.ID, req.Lock))
+	}
+	// The token is on its way back to the manager: redirect the request.
+	mgr := n.lockManager(req.Lock)
+	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(mgr),
+		Size:     n.C.HeaderBytes + n.C.ReqBytes + 4*n.N,
+		Reliable: true, Kind: KindLockRetry, Payload: req,
+	})
+}
+
+// handleLockRetry runs at the manager: grant from the (possibly still
+// in-flight) returned token.
+func (n *Node) handleLockRetry(req *msgLockAcq) {
+	ls := n.lock(req.Lock)
+	n.trace("lockRetry lock=%d req=%d owned=%v held=%v", req.Lock, req.Requester, ls.owned, ls.held)
+	if ls.owned && !ls.held {
+		n.grantLock(req)
+		return
+	}
+	if ls.retryQ != nil {
+		panic(fmt.Sprintf("proto: lock %d has two redirected requests", req.Lock))
+	}
+	ls.retryQ = req
+}
+
+// returnToken ships the token back to the manager (NoTokenCache), carrying
+// everything this node knows above the GC base so later manager grants are
+// consistent.
+func (n *Node) returnToken(id int) {
+	n.trace("returnToken lock=%d", id)
+	ls := n.lock(id)
+	ls.owned = false
+	mgr := n.lockManager(id)
+	ivs := n.missingIvs(n.gcBase.Clone(), mgr)
+	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
+	done := n.CPU.Service(n.C.GrantMake+n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(mgr),
+		Size: size, Reliable: true, Kind: KindLockReturn,
+		Payload: &msgLockGrant{Lock: id, VC: n.vc.Clone(), Ivs: ivs},
+	})
+}
+
+// handleLockReturn restores manager ownership and serves any redirected
+// request that raced with the return.
+func (n *Node) handleLockReturn(g *msgLockGrant) {
+	n.trace("lockReturn lock=%d retryq=%v", g.Lock, n.lock(g.Lock).retryQ != nil)
+	ls := n.lock(g.Lock)
+	cost := n.intake(g.Ivs, g.VC)
+	n.CPU.Service(cost, sim.CatDSM)
+	ls.owned = true
+	if ls.retryQ != nil {
+		req := ls.retryQ
+		ls.retryQ = nil
+		n.grantLock(req)
+	}
+}
+
+// grantLock transfers the token to req.Requester with piggybacked write
+// notices. The caller must own the token and the lock must be free.
+func (n *Node) grantLock(req *msgLockAcq) {
+	n.trace("grantLock lock=%d to=%d myvc=%v", req.Lock, req.Requester, n.vc)
+	ls := n.lock(req.Lock)
+	ls.owned = false
+	ivs := n.missingIvs(req.VC, req.Requester)
+	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
+	done := n.CPU.Service(n.C.GrantMake+n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(req.Requester),
+		Size: size, Reliable: true, Kind: KindLockGrant,
+		Payload: &msgLockGrant{Lock: req.Lock, VC: n.vc.Clone(), Ivs: ivs},
+	})
+}
+
+// handleLockGrant completes a remote acquire.
+func (n *Node) handleLockGrant(g *msgLockGrant) {
+	ls := n.lock(g.Lock)
+	if ls.waiting == nil {
+		panic(fmt.Sprintf("proto: node %d got unexpected grant of lock %d", n.ID, g.Lock))
+	}
+	n.trace("lockGrant lock=%d vc=%v ivs=%d", g.Lock, g.VC, len(g.Ivs))
+	cost := n.intake(g.Ivs, g.VC)
+	ls.owned = true
+	ls.held = true
+	done := n.CPU.Service(cost, sim.CatDSM)
+	n.St.LockStall += done - ls.reqStart
+	cb := ls.waiting
+	ls.waiting = nil
+	n.K.At(done, func() {
+		cb()
+		// A successor may have been forwarded to us while we waited; it
+		// is served when the local holder releases.
+	})
+}
+
+// ReleaseLock releases lock id: the release closes the current interval
+// (the LRC interval boundary) and hands the token to a waiting successor,
+// if any. Local: no messages unless a successor is pending.
+func (n *Node) ReleaseLock(id int) {
+	ls := n.lock(id)
+	if !ls.held {
+		panic(fmt.Sprintf("proto: node %d releasing lock %d it does not hold", n.ID, id))
+	}
+	n.closeInterval()
+	ls.held = false
+	if ls.pendingFwd != nil {
+		req := ls.pendingFwd
+		ls.pendingFwd = nil
+		n.grantLock(req)
+		return
+	}
+	if n.NoTokenCache {
+		if n.lockManager(id) != n.ID {
+			n.returnToken(id)
+		} else if ls.retryQ != nil {
+			// A redirected request was waiting for the manager's own
+			// tenure to finish.
+			req := ls.retryQ
+			ls.retryQ = nil
+			n.grantLock(req)
+		}
+	}
+}
+
+// barrierState lives on the barrier manager (node 0).
+type barrierState struct {
+	arrived    int
+	arrivalVCs []lrc.VC // by node
+	releases   []func() // manager-local continuations
+	mgrStart   sim.Time
+	gcWant     bool // some arrival exceeded the GC threshold
+	gcDone     int  // nodes that completed GC validation
+}
+
+// Barrier arrives at barrier id; onRelease runs (in kernel context) when
+// the barrier releases. The arrival closes the current interval and ships
+// this node's new intervals to the manager.
+func (n *Node) Barrier(id int, onRelease func()) {
+	n.closeInterval()
+	own := n.ownSinceBarrier
+	n.ownSinceBarrier = nil
+	n.St.BarrierArrives++
+
+	report := n.diffBytes
+	if n.PfHeapSharedGC {
+		report += n.pfHeap
+	}
+	if n.ID == 0 {
+		n.barrier.mgrStart = n.K.Now()
+		n.barrier.releases = append(n.barrier.releases, onRelease)
+		n.barArrive(&msgBarArrive{Barrier: id, From: 0, VC: n.vc.Clone(), Ivs: own,
+			DiffBytes: report})
+		return
+	}
+
+	n.barStart = n.K.Now()
+	n.barWait = onRelease
+	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(own, n.N)
+	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: 0,
+		Size: size, Reliable: true, Kind: KindBarArrive,
+		Payload: &msgBarArrive{Barrier: id, From: n.ID, VC: n.vc.Clone(), Ivs: own,
+			DiffBytes: n.diffBytes},
+	})
+}
+
+// handleBarArrive runs on the manager for remote arrivals.
+func (n *Node) handleBarArrive(a *msgBarArrive) { n.barArrive(a) }
+
+// barArrive records one arrival; the N-th arrival releases everyone.
+func (n *Node) barArrive(a *msgBarArrive) {
+	b := n.barrier
+	if b.arrivalVCs == nil {
+		b.arrivalVCs = make([]lrc.VC, n.N)
+	}
+	if b.arrivalVCs[a.From] != nil {
+		panic(fmt.Sprintf("proto: duplicate barrier arrival from %d", a.From))
+	}
+	b.arrivalVCs[a.From] = a.VC.Clone()
+	n.trace("barArrive from=%d diffBytes=%d thr=%d", a.From, a.DiffBytes, n.GCThreshold)
+	if n.GCThreshold > 0 && a.DiffBytes > n.GCThreshold {
+		b.gcWant = true
+	}
+	// Record the arriver's intervals WITHOUT invalidating local pages or
+	// merging VCs yet: the manager acts as a server here; its own memory
+	// view only changes when it passes the barrier itself, and an arrival
+	// VC may cover third-node intervals whose records arrive later.
+	cost := n.C.BarrierMgr
+	for _, iv := range a.Ivs {
+		cost += n.recordDeferred(iv)
+	}
+	b.arrived++
+	if b.arrived < n.N {
+		n.CPU.Service(cost, sim.CatDSM)
+		return
+	}
+	for q := 0; q < n.N; q++ {
+		n.vc.Merge(b.arrivalVCs[q])
+	}
+	n.flushDeferred()
+	n.checkContiguity()
+
+	// Everyone is here: release. Each node gets the intervals it lacks
+	// (per its arrival VC), excluding its own.
+	arrivalVCs := b.arrivalVCs
+	releases := b.releases
+	mgrStart := b.mgrStart
+	gc := b.gcWant
+	n.trace("barRelease-all gc=%v", gc)
+	b.arrived = 0
+	b.arrivalVCs = nil
+	b.releases = nil
+	b.gcWant = false
+
+	for q := 1; q < n.N; q++ {
+		ivs := n.missingIvs(arrivalVCs[q], q)
+		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
+		cost += n.C.MsgSend
+		done := n.CPU.Service(cost, sim.CatDSM)
+		cost = 0
+		n.sendAfter(done, &netsim.Message{
+			Src: 0, Dst: netsim.NodeID(q),
+			Size: size, Reliable: true, Kind: KindBarRelease,
+			Payload: &msgBarRelease{Barrier: a.Barrier, VC: n.vc.Clone(), Ivs: ivs, GC: gc},
+		})
+	}
+	done := n.CPU.Service(cost, sim.CatDSM)
+	n.St.BarrierStall += done - mgrStart
+	resume := func() {
+		for _, r := range releases {
+			r()
+		}
+	}
+	if gc {
+		n.K.At(done, func() { n.gcBegin(resume) })
+		return
+	}
+	n.K.At(done, resume)
+}
+
+// handleBarRelease completes a barrier wait on a non-manager node.
+func (n *Node) handleBarRelease(r *msgBarRelease) {
+	n.trace("barRelease vc=%v ivs=%d gc=%v", r.VC, len(r.Ivs), r.GC)
+	cost := n.intake(r.Ivs, r.VC)
+	done := n.CPU.Service(cost, sim.CatDSM)
+	n.St.BarrierStall += done - n.barStart
+	cb := n.barWait
+	n.barWait = nil
+	if r.GC {
+		n.K.At(done, func() { n.gcBegin(cb) })
+		return
+	}
+	n.K.At(done, cb)
+}

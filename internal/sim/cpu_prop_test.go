@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: under any interleaving of thread computation and service
+// interrupts, (a) every charged nanosecond is accounted exactly once,
+// (b) the thread's wall time is at least its compute plus the service that
+// preempted it, and (c) service completion times never decrease.
+func TestCPUAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		c := NewCPU(k)
+
+		var wantBusy, wantSvc Time
+		nCompute := 1 + rng.Intn(4)
+		var finished Time
+		k.Spawn("worker", func(p *Proc) {
+			for i := 0; i < nCompute; i++ {
+				d := Time(1+rng.Intn(2000)) * Microsecond
+				wantBusy += d
+				c.ThreadCompute(p, d, CatBusy)
+				p.Sleep(Time(rng.Intn(500)) * Microsecond)
+			}
+			finished = k.Now()
+		})
+		nSvc := rng.Intn(12)
+		var lastDone Time
+		ok := true
+		for i := 0; i < nSvc; i++ {
+			at := Time(rng.Intn(10000)) * Microsecond
+			d := Time(1+rng.Intn(300)) * Microsecond
+			wantSvc += d
+			k.At(at, func() {
+				done := c.Service(d, CatDSM)
+				if done < k.Now()+d {
+					ok = false // completion before the work could finish
+				}
+				if done < lastDone {
+					ok = false // service queue went backwards
+				}
+				lastDone = done
+			})
+		}
+		end := k.Run()
+		if c.Account(CatBusy) != wantBusy || c.Account(CatDSM) != wantSvc {
+			return false
+		}
+		if finished > 0 && finished < wantBusy {
+			return false // thread finished faster than its own compute
+		}
+		_ = end
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: many processes sleeping random durations always resume at
+// exactly the requested virtual times, in global time order.
+func TestProcSleepExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		ok := true
+		var lastWake Time
+		for i := 0; i < 6; i++ {
+			delays := make([]Time, 1+rng.Intn(5))
+			for j := range delays {
+				delays[j] = Time(rng.Intn(5000)) * Microsecond
+			}
+			k.Spawn("p", func(p *Proc) {
+				expect := k.Now()
+				for _, d := range delays {
+					expect += d
+					p.Sleep(d)
+					if k.Now() != expect {
+						ok = false
+					}
+					if k.Now() < lastWake {
+						ok = false // global time went backwards
+					}
+					lastWake = k.Now()
+				}
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

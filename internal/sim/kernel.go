@@ -1,0 +1,128 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that the DSM model runs on: a virtual clock, an event queue, coroutine
+// processes (used for simulated application threads), and a simulated CPU
+// with category-based time accounting.
+//
+// The kernel is strictly single-threaded from the simulation's point of
+// view: events execute one at a time in (time, sequence) order, and process
+// goroutines run only while the kernel is blocked waiting for them to park.
+// Given identical inputs, a simulation therefore always produces identical
+// results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time = int64
+
+// Common virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	control chan struct{} // handoff from a process back to the kernel
+	procs   map[*Proc]struct{}
+	running bool
+	stopped bool
+	limit   Time // if > 0, Run stops once the clock would pass this
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		control: make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute virtual time t. Events scheduled for
+// the same time run in scheduling order. Scheduling in the past panics:
+// it always indicates a model bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d ns, before now (%d ns)", t, k.now))
+	}
+	k.seq++
+	k.events.pushEvent(event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// SetLimit makes Run stop (without error) before executing any event whose
+// time exceeds t. Zero means no limit.
+func (k *Kernel) SetLimit(t Time) { k.limit = t }
+
+// Run executes events until the queue is empty (or the limit is reached),
+// then shuts down any process goroutines that are still parked. It returns
+// the final virtual time.
+func (k *Kernel) Run() Time {
+	if k.running {
+		panic("sim: Kernel.Run called reentrantly")
+	}
+	k.running = true
+	for len(k.events) > 0 {
+		if k.limit > 0 && k.events.peek().at > k.limit {
+			break
+		}
+		e := k.events.popEvent()
+		k.now = e.at
+		e.fn()
+	}
+	k.running = false
+	k.shutdown()
+	return k.now
+}
+
+// shutdown unwinds every still-parked process goroutine so that a finished
+// simulation leaks no goroutines.
+func (k *Kernel) shutdown() {
+	k.stopped = true
+	for p := range k.procs {
+		if p.parked {
+			p.resume <- struct{}{} // park() sees k.stopped and unwinds
+			<-k.control
+		}
+		delete(k.procs, p)
+	}
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	end := k.Run()
+	if end != 30 {
+		t.Fatalf("end time = %d, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.At(10, func() {
+		fired = append(fired, k.Now())
+		k.After(5, func() { fired = append(fired, k.Now()) })
+		k.At(k.Now(), func() { fired = append(fired, k.Now()) })
+	})
+	k.Run()
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 10 || fired[2] != 15 {
+		t.Fatalf("fired = %v, want [10 10 15]", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestLimitStopsRun(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.At(10, func() { ran++ })
+	k.At(100, func() { ran++ })
+	k.SetLimit(50)
+	end := k.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if end != 10 {
+		t.Fatalf("end = %d, want 10", end)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var trace []Time
+	k.Spawn("a", func(p *Proc) {
+		trace = append(trace, k.Now())
+		p.Sleep(100)
+		trace = append(trace, k.Now())
+		p.Sleep(50)
+		trace = append(trace, k.Now())
+	})
+	k.Run()
+	want := []Time{0, 100, 150}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcParkWake(t *testing.T) {
+	k := NewKernel()
+	var woke Time = -1
+	var p *Proc
+	p = k.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		woke = k.Now()
+	})
+	k.At(77, func() { p.Wake() })
+	k.Run()
+	if woke != 77 {
+		t.Fatalf("woke at %d, want 77", woke)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20)
+		order = append(order, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b0")
+		p.Sleep(15)
+		order = append(order, "b15")
+	})
+	k.Run()
+	want := []string{"a0", "b0", "a10", "b15", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestShutdownUnwindsParkedProcs(t *testing.T) {
+	k := NewKernel()
+	cleaned := false
+	k.Spawn("stuck", func(p *Proc) {
+		defer func() {
+			// The shutdown panic must pass through so the kernel can
+			// reclaim the goroutine; it is recovered inside the kernel.
+			cleaned = true
+			if r := recover(); r != nil {
+				panic(r)
+			}
+		}()
+		p.Park() // never woken
+	})
+	k.Run()
+	if !cleaned {
+		t.Fatal("parked process was not unwound at shutdown")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel()
+		var trace []Time
+		for i := 0; i < 5; i++ {
+			d := Time(10 * (i + 1))
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(d)
+					trace = append(trace, k.Now())
+				}
+			})
+		}
+		k.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic trace at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCPUServiceQueuing(t *testing.T) {
+	k := NewKernel()
+	c := NewCPU(k)
+	var done1, done2 Time
+	k.At(100, func() {
+		done1 = c.Service(50, CatDSM)
+		done2 = c.Service(30, CatDSM)
+	})
+	k.Run()
+	if done1 != 150 {
+		t.Errorf("done1 = %d, want 150", done1)
+	}
+	if done2 != 180 {
+		t.Errorf("done2 = %d, want 180 (queued behind first)", done2)
+	}
+	if c.Account(CatDSM) != 80 {
+		t.Errorf("DSM account = %d, want 80", c.Account(CatDSM))
+	}
+}
+
+func TestCPUComputeWithInterrupt(t *testing.T) {
+	k := NewKernel()
+	c := NewCPU(k)
+	var finished Time
+	k.Spawn("worker", func(p *Proc) {
+		c.ThreadCompute(p, 1000, CatBusy)
+		finished = k.Now()
+	})
+	// Interrupt arrives mid-compute and steals 200 ns.
+	k.At(400, func() { c.Service(200, CatDSM) })
+	k.Run()
+	if finished != 1200 {
+		t.Errorf("compute finished at %d, want 1200 (1000 + 200 debt)", finished)
+	}
+	if c.Account(CatBusy) != 1000 || c.Account(CatDSM) != 200 {
+		t.Errorf("accounts busy=%d dsm=%d, want 1000/200",
+			c.Account(CatBusy), c.Account(CatDSM))
+	}
+}
+
+func TestCPUComputeWaitsForService(t *testing.T) {
+	k := NewKernel()
+	c := NewCPU(k)
+	var finished Time
+	k.At(0, func() { c.Service(300, CatDSM) })
+	k.Spawn("worker", func(p *Proc) {
+		p.Sleep(100) // arrive while service is still running
+		c.ThreadCompute(p, 100, CatBusy)
+		finished = k.Now()
+	})
+	k.Run()
+	if finished != 400 {
+		t.Errorf("compute finished at %d, want 400 (waits for service until 300)", finished)
+	}
+}
+
+func TestCPUMultipleInterrupts(t *testing.T) {
+	k := NewKernel()
+	c := NewCPU(k)
+	var finished Time
+	k.Spawn("worker", func(p *Proc) {
+		c.ThreadCompute(p, 1000, CatBusy)
+		finished = k.Now()
+	})
+	k.At(100, func() { c.Service(50, CatDSM) })
+	k.At(200, func() { c.Service(70, CatDSM) })
+	k.At(1100, func() { c.Service(30, CatDSM) }) // lands inside the debt extension
+	k.Run()
+	if finished != 1150 {
+		t.Errorf("finished at %d, want 1150", finished)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{
+		CatBusy:       "Busy",
+		CatDSM:        "DSM Overhead",
+		CatMemIdle:    "Memory Miss Idle",
+		CatSyncIdle:   "Synchronization Idle",
+		CatPrefetchOv: "Prefetch Overhead",
+		CatMTOv:       "Multithreading Overhead",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Category(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

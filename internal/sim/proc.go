@@ -1,0 +1,89 @@
+package sim
+
+// Proc is a coroutine process: a goroutine whose execution is interleaved
+// with the event loop such that exactly one of (kernel, some process) runs
+// at any moment. Simulated application threads are built on Proc.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	parked bool // true while the goroutine is blocked in park()
+	done   bool
+}
+
+// procShutdown is the panic value used to unwind a parked process when the
+// kernel shuts down.
+type procShutdown struct{}
+
+// Spawn creates a process and schedules it to start running at the current
+// virtual time. fn runs on its own goroutine but only while the kernel is
+// blocked handing control to it; fn must interact with the simulation only
+// through p (Sleep/Park) and through kernel callbacks.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), parked: true}
+	k.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procShutdown); !ok {
+					panic(r) // real bug: propagate
+				}
+			}
+			p.done = true
+			k.control <- struct{}{} // return control to the kernel
+		}()
+		<-p.resume // wait to be started
+		p.parked = false
+		if k.stopped {
+			panic(procShutdown{})
+		}
+		fn(p)
+		delete(k.procs, p)
+	}()
+	k.At(k.now, func() { p.transfer() })
+	return p
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// transfer hands the CPU (the real one) to the process goroutine and blocks
+// until the process parks or finishes. It must be called from kernel
+// context, i.e. from inside an event callback.
+func (p *Proc) transfer() {
+	if p.done {
+		return
+	}
+	if !p.parked {
+		panic("sim: wake of a process that is not parked (double wake?)")
+	}
+	p.resume <- struct{}{}
+	<-p.k.control
+}
+
+// park suspends the process until something calls transfer again.
+func (p *Proc) park() {
+	p.parked = true
+	p.k.control <- struct{}{}
+	<-p.resume
+	p.parked = false
+	if p.k.stopped {
+		panic(procShutdown{})
+	}
+}
+
+// Sleep suspends the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	p.k.At(p.k.now+d, p.transfer)
+	p.park()
+}
+
+// Park suspends the process indefinitely; some event must later call Wake.
+func (p *Proc) Park() { p.park() }
+
+// Wake schedules the process to resume at the current virtual time. It must
+// be called from kernel context while the process is parked via Park.
+func (p *Proc) Wake() { p.k.At(p.k.now, p.transfer) }
+
+// WakeAt schedules the process to resume at absolute time t.
+func (p *Proc) WakeAt(t Time) { p.k.At(t, p.transfer) }

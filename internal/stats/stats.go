@@ -1,0 +1,205 @@
+// Package stats defines the measurement counters that reproduce the paper's
+// instrumentation: per-processor execution-time breakdowns (Figures 1, 2, 4,
+// 5), prefetching effectiveness (Table 1, Figure 3), and multithreading
+// behaviour (Table 2).
+package stats
+
+import (
+	"godsm/internal/sim"
+)
+
+// Node accumulates one processor's counters over a run. The protocol engine
+// and the thread scheduler update it directly; Report aggregates across
+// processors at the end of a run.
+type Node struct {
+	// Remote memory misses: page faults that required network messages.
+	Misses    int64
+	MissStall sim.Time
+
+	// Faults resolved entirely from the prefetch diff cache (no network).
+	// These were misses in the original program but are not counted in
+	// Misses, matching Table 1's "Total Misses" accounting.
+	CacheHits int64
+
+	// Synchronization.
+	RemoteLockAcqs int64
+	LocalLockAcqs  int64 // satisfied by local hand-off (multithreading)
+	LockStall      sim.Time
+	BarrierArrives int64
+	BarrierStall   sim.Time
+
+	// Prefetching.
+	PfCalls       int64 // Prefetch() invocations
+	PfUnnecessary int64 // dropped: page valid or fetch already in flight
+	PfMsgs        int64 // prefetch request messages actually sent
+	PfDropped     int64 // prefetch messages lost in the network
+
+	// Outcome of each fault in a prefetching run (Figure 3 categories).
+	FaultNoPf        int64 // page was never prefetched
+	FaultPfHit       int64 // all needed diffs were in the prefetch cache
+	FaultPfLate      int64 // prefetched, but replies had not (all) arrived
+	FaultPfInvalided int64 // prefetched, but new write notices superseded it
+
+	// Multithreading.
+	CtxSwitches int64
+	Blocks      int64    // thread blocking events (stalls)
+	RunTotal    sim.Time // total busy run time between stalls
+	Runs        int64
+
+	// Diff garbage collection.
+	GCRuns int64
+	GCTime sim.Time
+
+	// Protocol work counters (diagnostics and ablations).
+	DiffsMade    int64
+	DiffsApplied int64
+	TwinsMade    int64
+}
+
+// StallEvents returns the number of stall events (memory + sync).
+func (n *Node) StallEvents() int64 {
+	return n.Misses + n.CacheHits + n.RemoteLockAcqs + n.BarrierArrives
+}
+
+// Breakdown is a processor-time breakdown in the paper's categories.
+type Breakdown struct {
+	Cat     [sim.NumCategories]sim.Time
+	Elapsed sim.Time
+}
+
+// Normalized returns each category as a percentage of a reference elapsed
+// time (the paper normalizes to the original execution time).
+func (b Breakdown) Normalized(ref sim.Time) [sim.NumCategories]float64 {
+	var out [sim.NumCategories]float64
+	if ref <= 0 {
+		return out
+	}
+	for i, v := range b.Cat {
+		out[i] = 100 * float64(v) / float64(ref)
+	}
+	return out
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, v := range b.Cat {
+		t += v
+	}
+	return t
+}
+
+// Report is the aggregate result of one run.
+type Report struct {
+	Procs     int
+	Threads   int
+	Elapsed   sim.Time
+	Breakdown Breakdown // averaged over processors
+	PerProc   []Breakdown
+	Nodes     []Node
+
+	MsgsTotal  int64
+	BytesTotal int64
+	Drops      int64
+}
+
+// Sum returns the element-wise sum of all nodes' counters.
+func (r *Report) Sum() Node {
+	var t Node
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		t.Misses += n.Misses
+		t.MissStall += n.MissStall
+		t.CacheHits += n.CacheHits
+		t.RemoteLockAcqs += n.RemoteLockAcqs
+		t.LocalLockAcqs += n.LocalLockAcqs
+		t.LockStall += n.LockStall
+		t.BarrierArrives += n.BarrierArrives
+		t.BarrierStall += n.BarrierStall
+		t.PfCalls += n.PfCalls
+		t.PfUnnecessary += n.PfUnnecessary
+		t.PfMsgs += n.PfMsgs
+		t.PfDropped += n.PfDropped
+		t.FaultNoPf += n.FaultNoPf
+		t.FaultPfHit += n.FaultPfHit
+		t.FaultPfLate += n.FaultPfLate
+		t.FaultPfInvalided += n.FaultPfInvalided
+		t.CtxSwitches += n.CtxSwitches
+		t.Blocks += n.Blocks
+		t.RunTotal += n.RunTotal
+		t.Runs += n.Runs
+		t.GCRuns += n.GCRuns
+		t.GCTime += n.GCTime
+		t.DiffsMade += n.DiffsMade
+		t.DiffsApplied += n.DiffsApplied
+		t.TwinsMade += n.TwinsMade
+	}
+	return t
+}
+
+// AvgMissLatency returns the mean remote miss stall, or 0 if none.
+func (r *Report) AvgMissLatency() sim.Time {
+	s := r.Sum()
+	if s.Misses == 0 {
+		return 0
+	}
+	return s.MissStall / s.Misses
+}
+
+// TotalMisses returns remote misses across processors.
+func (r *Report) TotalMisses() int64 { return r.Sum().Misses }
+
+// OriginalMisses returns how many faults the original (non-prefetching)
+// program would have taken: remote misses plus prefetch-cache hits.
+func (r *Report) OriginalMisses() int64 {
+	s := r.Sum()
+	return s.Misses + s.CacheHits
+}
+
+// CoverageFactor returns the fraction of original misses that were
+// prefetched (hit + late + invalidated), as a percentage.
+func (r *Report) CoverageFactor() float64 {
+	s := r.Sum()
+	total := s.FaultNoPf + s.FaultPfHit + s.FaultPfLate + s.FaultPfInvalided
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.FaultPfHit+s.FaultPfLate+s.FaultPfInvalided) / float64(total)
+}
+
+// UnnecessaryPfPct returns the percentage of prefetch calls that found
+// their data already local or in flight.
+func (r *Report) UnnecessaryPfPct() float64 {
+	s := r.Sum()
+	if s.PfCalls == 0 {
+		return 0
+	}
+	return 100 * float64(s.PfUnnecessary) / float64(s.PfCalls)
+}
+
+// AvgStall returns the mean stall duration over all stall events.
+func (r *Report) AvgStall() sim.Time {
+	s := r.Sum()
+	n := s.Blocks
+	if n == 0 {
+		return 0
+	}
+	return (s.MissStall + s.LockStall + s.BarrierStall) / n
+}
+
+// AvgRunLength returns the mean busy run between stalls.
+func (r *Report) AvgRunLength() sim.Time {
+	s := r.Sum()
+	if s.Runs == 0 {
+		return 0
+	}
+	return s.RunTotal / s.Runs
+}
+
+// Speedup returns ref/this elapsed as a ratio (>1 means this run is faster).
+func (r *Report) Speedup(ref *Report) float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(ref.Elapsed) / float64(r.Elapsed)
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"testing"
+
+	"godsm/internal/sim"
+)
+
+func TestBreakdownNormalized(t *testing.T) {
+	var b Breakdown
+	b.Cat[sim.CatBusy] = 250
+	b.Cat[sim.CatDSM] = 750
+	b.Elapsed = 1000
+	n := b.Normalized(1000)
+	if n[sim.CatBusy] != 25 || n[sim.CatDSM] != 75 {
+		t.Fatalf("normalized = %v", n)
+	}
+	if b.Total() != 1000 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	zero := b.Normalized(0)
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("normalizing to zero reference must yield zeros")
+		}
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	r := &Report{
+		Procs: 2,
+		Nodes: []Node{
+			{Misses: 10, MissStall: 10_000, CacheHits: 5, PfCalls: 20, PfUnnecessary: 5,
+				FaultNoPf: 3, FaultPfHit: 5, FaultPfLate: 4, FaultPfInvalided: 3,
+				Blocks: 10, RunTotal: 5000, Runs: 10,
+				LockStall: 1000, BarrierStall: 2000},
+			{Misses: 5, MissStall: 5_000, CacheHits: 0, PfCalls: 10, PfUnnecessary: 10,
+				FaultNoPf: 5, Blocks: 5, RunTotal: 2500, Runs: 5},
+		},
+	}
+	if got := r.TotalMisses(); got != 15 {
+		t.Errorf("TotalMisses = %d", got)
+	}
+	if got := r.OriginalMisses(); got != 20 {
+		t.Errorf("OriginalMisses = %d", got)
+	}
+	if got := r.AvgMissLatency(); got != 1000 {
+		t.Errorf("AvgMissLatency = %d", got)
+	}
+	// Coverage: (5+4+3) of (3+5+4+3 + 5) = 12/20 = 60%.
+	if got := r.CoverageFactor(); got != 60 {
+		t.Errorf("CoverageFactor = %v", got)
+	}
+	// Unnecessary: 15 of 30 calls.
+	if got := r.UnnecessaryPfPct(); got != 50 {
+		t.Errorf("UnnecessaryPfPct = %v", got)
+	}
+	// AvgStall: (15000+1000+2000)/15 = 1200.
+	if got := r.AvgStall(); got != 1200 {
+		t.Errorf("AvgStall = %d", got)
+	}
+	if got := r.AvgRunLength(); got != 500 {
+		t.Errorf("AvgRunLength = %d", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := &Report{Elapsed: 2000}
+	b := &Report{Elapsed: 1000}
+	if got := b.Speedup(a); got != 2 {
+		t.Errorf("Speedup = %v", got)
+	}
+	var zero Report
+	if got := zero.Speedup(a); got != 0 {
+		t.Errorf("zero-elapsed speedup = %v", got)
+	}
+}
+
+func TestEmptyReportSafety(t *testing.T) {
+	r := &Report{}
+	if r.AvgMissLatency() != 0 || r.CoverageFactor() != 0 ||
+		r.UnnecessaryPfPct() != 0 || r.AvgStall() != 0 || r.AvgRunLength() != 0 {
+		t.Fatal("empty report must yield zeros, not panic")
+	}
+}
+
+func TestStallEvents(t *testing.T) {
+	n := Node{Misses: 3, CacheHits: 2, RemoteLockAcqs: 4, BarrierArrives: 1}
+	if got := n.StallEvents(); got != 10 {
+		t.Errorf("StallEvents = %d", got)
+	}
+}
