@@ -17,6 +17,7 @@ package godsm
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"godsm/dsm"
@@ -203,5 +204,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep := fresh(b, "SOR", harness.VarO)
 		b.ReportMetric(float64(rep.MsgsTotal), "messages")
+	}
+}
+
+// BenchmarkRunAllWorkers measures the parallel experiment runner: the full
+// paper grid (all apps × all eight variants) at unit scale, sequentially
+// and fanned out over GOMAXPROCS workers. On a multi-core machine the
+// workers=N case should approach N× the sequential throughput; the results
+// themselves are identical (see harness.TestCrossWorkerDeterminism).
+func BenchmarkRunAllWorkers(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := harness.NewSession(harness.Options{
+					Procs: benchProcs, Scale: apps.Unit, Workers: workers})
+				if err := s.RunAll(s.Grid(harness.AllVariants)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

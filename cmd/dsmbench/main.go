@@ -2,41 +2,76 @@
 //
 // Usage:
 //
-//	dsmbench [-exp all|fig1|fig2|table1|fig3|fig4|table2|fig5]
+//	dsmbench [-exp all|fig1|fig2|table1|fig3|fig4|table2|fig5|...]
 //	         [-scale unit|small|paper] [-procs N] [-apps FFT,SOR,...]
-//	         [-verify]
+//	         [-workers N] [-json FILE] [-verify]
 //
 // Each experiment prints the same rows/series as the corresponding artifact
 // in "Comparative Evaluation of Latency Tolerance Techniques for Software
 // Distributed Shared Memory" (HPCA-4, 1998). The default scale is "small"
 // (scaled-down inputs, minutes of wall time); "paper" uses the paper's
 // input sizes.
+//
+// Independent simulations fan out over a worker pool (-workers, default
+// GOMAXPROCS): the full run grid is prewarmed up front and the experiments
+// render concurrently, while output still appears in paper order. Every
+// simulation is single-threaded and deterministic, so results are
+// byte-identical for any worker count. -json writes a machine-readable
+// summary (wall clock per experiment, aggregate simulation time, effective
+// speedup over a sequential run) for tracking performance across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"godsm/internal/apps"
 	"godsm/internal/harness"
 )
 
+// benchResult is the machine-readable summary written by -json.
+type benchResult struct {
+	Date     string  `json:"date"`
+	Scale    string  `json:"scale"`
+	Procs    int     `json:"procs"`
+	Workers  int     `json:"workers"`
+	NumCPU   int     `json:"num_cpu"`
+	TotalSec float64 `json:"total_wall_s"`
+	// SimSec is the cumulative single-threaded simulation time: what a
+	// sequential run of the same grid would have cost. SimSec/TotalSec is
+	// the effective speedup from the parallel runner.
+	SimSec      float64           `json:"sim_wall_s"`
+	SimRuns     int64             `json:"sim_runs"`
+	Speedup     float64           `json:"speedup_vs_sequential"`
+	Experiments []experimentTimes `json:"experiments"`
+}
+
+type experimentTimes struct {
+	ID    string  `json:"id"`
+	WallS float64 `json:"wall_s"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5)")
+	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5, ablation, netsweep, scaling)")
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	appList := flag.String("apps", "", "comma-separated application subset (default all)")
 	verify := flag.Bool("verify", false, "verify application output against sequential goldens")
+	workers := flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "BENCH_dsmbench.json", "write a machine-readable timing summary here ('' = off)")
 	flag.Parse()
 
 	sc, err := apps.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify}
+	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify, Workers: *workers}
 	if *appList != "" {
 		for _, a := range strings.Split(*appList, ",") {
 			name := strings.TrimSpace(a)
@@ -59,15 +94,79 @@ func main() {
 		selected = []harness.Experiment{e}
 	}
 
+	start := time.Now()
+	// Schedule the full cached-run grid before any rendering starts, so
+	// the worker pool is busy end to end; experiments then render
+	// concurrently into buffers and print in paper order.
+	session.Prewarm(harness.PrewarmKeys(session, selected))
+
+	type rendered struct {
+		out  strings.Builder
+		err  error
+		wall time.Duration
+		done chan struct{}
+	}
+	results := make([]*rendered, len(selected))
+	var wg sync.WaitGroup
 	for i, e := range selected {
+		results[i] = &rendered{done: make(chan struct{})}
+		wg.Add(1)
+		go func(i int, e harness.Experiment) {
+			defer wg.Done()
+			r := results[i]
+			t0 := time.Now()
+			r.err = e.Run(session, &r.out)
+			r.wall = time.Since(t0)
+			close(r.done)
+		}(i, e)
+	}
+
+	var times []experimentTimes
+	for i, e := range selected {
+		r := results[i]
+		<-r.done
+		if r.err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, r.err))
+		}
 		if i > 0 {
 			fmt.Println()
 		}
-		start := time.Now()
-		if err := e.Run(session, os.Stdout); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		os.Stdout.WriteString(r.out.String())
+		fmt.Printf("[%s done in %.1fs wall]\n", e.ID, r.wall.Seconds())
+		times = append(times, experimentTimes{ID: e.ID, WallS: r.wall.Seconds()})
+	}
+	wg.Wait()
+	total := time.Since(start)
+
+	simRuns, simWall := session.SimStats()
+	speedup := 0.0
+	if total > 0 {
+		speedup = simWall.Seconds() / total.Seconds()
+	}
+	fmt.Printf("\n%d simulations, %.1fs simulation time on %d workers, %.1fs wall (%.2fx vs sequential)\n",
+		simRuns, simWall.Seconds(), session.Workers(), total.Seconds(), speedup)
+
+	if *jsonPath != "" {
+		res := benchResult{
+			Date:        time.Now().UTC().Format(time.RFC3339),
+			Scale:       *scale,
+			Procs:       *procs,
+			Workers:     session.Workers(),
+			NumCPU:      runtime.NumCPU(),
+			TotalSec:    total.Seconds(),
+			SimSec:      simWall.Seconds(),
+			SimRuns:     simRuns,
+			Speedup:     speedup,
+			Experiments: times,
 		}
-		fmt.Printf("[%s done in %.1fs wall]\n", e.ID, time.Since(start).Seconds())
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 

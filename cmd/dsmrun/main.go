@@ -1,18 +1,27 @@
-// Command dsmrun runs a single application under one explicit
-// configuration and prints its full measurement report — the quickest way
-// to explore one point of the design space.
+// Command dsmrun runs one or more applications under one explicit
+// configuration and prints their full measurement reports — the quickest
+// way to explore one point of the design space.
 //
 // Usage:
 //
 //	dsmrun -app SOR [-procs 8] [-threads 1] [-prefetch]
 //	       [-switch-miss] [-switch-sync] [-scale unit|small|paper]
-//	       [-throttle N] [-verify]
+//	       [-throttle N] [-verify] [-workers N]
+//
+// -app accepts a single name, a comma-separated list, or "all". With more
+// than one application the independent simulations fan out over a worker
+// pool (-workers, default GOMAXPROCS) and the reports print in the
+// requested order; each simulation stays single-threaded and
+// deterministic, so the reports are identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"godsm/dsm"
 	"godsm/internal/apps"
@@ -22,7 +31,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "SOR", "application name (FFT, LU-NCONT, LU-CONT, OCEAN, RADIX, SOR, WATER-NSQ, WATER-SP)")
+	app := flag.String("app", "SOR", "application name(s): FFT, LU-NCONT, LU-CONT, OCEAN, RADIX, SOR, WATER-NSQ, WATER-SP; comma-separated list or \"all\"")
 	procs := flag.Int("procs", 8, "simulated processors")
 	threads := flag.Int("threads", 1, "user-level threads per processor")
 	prefetch := flag.Bool("prefetch", false, "execute inserted prefetches")
@@ -32,16 +41,28 @@ func main() {
 	throttle := flag.Int("throttle", 0, "drop every k-th prefetch (0 = off)")
 	verify := flag.Bool("verify", false, "verify output against the sequential golden")
 	kinds := flag.Bool("kinds", false, "print per-message-kind traffic table")
-	traceN := flag.Int("trace", 0, "print the last N protocol events (0 = off)")
+	traceN := flag.Int("trace", 0, "print the last N protocol events (0 = off, single app only)")
+	workers := flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sc, err := apps.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	spec, err := apps.ByName(*app)
-	if err != nil {
-		fatal(err)
+	var names []string
+	if *app == "all" {
+		for _, spec := range apps.All {
+			names = append(names, spec.Name)
+		}
+	} else {
+		for _, a := range strings.Split(*app, ",") {
+			names = append(names, strings.TrimSpace(a))
+		}
+	}
+	for _, name := range names {
+		if _, err := apps.ByName(name); err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := dsm.DefaultConfig()
@@ -52,34 +73,105 @@ func main() {
 	cfg.SwitchOnSync = *swSync || *threads > 1
 	cfg.ThrottlePf = *throttle
 
+	if len(names) == 1 {
+		runOne(names[0], cfg, sc, *verify, *kinds, *traceN)
+		return
+	}
+	if *traceN > 0 {
+		fatal(fmt.Errorf("-trace needs a single -app (the trace hook is global)"))
+	}
+
+	// Fan the independent runs out over a bounded worker pool; print the
+	// reports in the requested order as they complete.
+	pool := *workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, pool)
+	type result struct {
+		sys  *dsm.System
+		rep  *dsm.Report
+		err  error
+		done chan struct{}
+	}
+	results := make([]*result, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		results[i] = &result{done: make(chan struct{})}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			r := results[i]
+			defer close(r.done)
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec, err := apps.ByName(name)
+			if err != nil {
+				r.err = err
+				return
+			}
+			sys := dsm.NewSystem(cfg)
+			inst := spec.Build(sys, apps.Options{Scale: sc, Verify: *verify})
+			rep := sys.Run(inst.Run)
+			if err := inst.Err(); err != nil {
+				r.err = fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			r.sys, r.rep = sys, rep
+		}(i, name)
+	}
+	for i, name := range names {
+		r := results[i]
+		<-r.done
+		if r.err != nil {
+			fatal(r.err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printReport(name, r.rep)
+		if *kinds {
+			printKinds(r.sys)
+		}
+	}
+	wg.Wait()
+}
+
+// runOne preserves the single-application path, including the global
+// protocol event trace that cannot run concurrently.
+func runOne(name string, cfg dsm.Config, sc apps.Scale, verify, kinds bool, traceN int) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
 	sys := dsm.NewSystem(cfg)
 
 	// Optional protocol event trace: a ring buffer of the last N events
 	// (twin creation, interval close, notice intake, diff make/apply,
 	// faults, lock and barrier traffic), stamped with virtual time.
 	var ring []string
-	if *traceN > 0 {
+	if traceN > 0 {
 		proto.Trace = func(node int, format string, args ...any) {
 			ev := fmt.Sprintf("%10dus n%d %s",
 				sys.K.Now()/sim.Microsecond, node, fmt.Sprintf(format, args...))
 			ring = append(ring, ev)
-			if len(ring) > *traceN {
+			if len(ring) > traceN {
 				ring = ring[1:]
 			}
 		}
 		defer func() { proto.Trace = nil }()
 	}
 
-	inst := spec.Build(sys, apps.Options{Scale: sc, Verify: *verify})
+	inst := spec.Build(sys, apps.Options{Scale: sc, Verify: verify})
 	rep := sys.Run(inst.Run)
 	if err := inst.Err(); err != nil {
 		fatal(err)
 	}
-	printReport(*app, rep)
-	if *kinds {
+	printReport(name, rep)
+	if kinds {
 		printKinds(sys)
 	}
-	if *traceN > 0 {
+	if traceN > 0 {
 		fmt.Printf("last %d protocol events:\n", len(ring))
 		for _, ev := range ring {
 			fmt.Println(" ", ev)

@@ -27,7 +27,11 @@
 //	})
 //
 // All simulation is in virtual time: results are bit-for-bit reproducible
-// and independent of the host machine.
+// and independent of the host machine. A System is single-threaded and
+// shares no state with other Systems, so independent simulations may run
+// concurrently (the experiment harness fans the paper's grid out over a
+// worker pool this way) without perturbing any Report; Report.Fingerprint
+// gives a deterministic rendering for comparing runs.
 package dsm
 
 import (

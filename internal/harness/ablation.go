@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"godsm/dsm"
-	"godsm/internal/apps"
 	"godsm/internal/sim"
 )
 
@@ -71,62 +70,70 @@ var ablations = []ablation{
 
 // RunAblations regenerates the design-choice ablation table. Each row runs
 // the full system and the ablated system under the same configuration and
-// reports the elapsed-time ratio (>1 means the mechanism was helping).
+// reports the elapsed-time ratio (>1 means the mechanism was helping). All
+// rows simulate concurrently on the session's worker pool; rendering waits
+// and prints in table order.
 func RunAblations(s *Session, w io.Writer) error {
+	type row struct {
+		ab        ablation
+		app       string
+		base, abl *dsm.Report
+	}
+	var rows []*row
+	for _, ab := range ablations {
+		for _, app := range ab.apps {
+			if contains(s.AppNames(), app) {
+				rows = append(rows, &row{ab: ab, app: app})
+			}
+		}
+	}
+	if err := each(len(rows), func(i int) error {
+		r := rows[i]
+		// Ablated runs bypass the variant cache (configs differ).
+		cfg := s.Config(r.app, r.ab.variant)
+		if r.ab.name == "shared-prefetch-heap" {
+			// Compare against the same GC threshold with the separate
+			// heap, so the ratio isolates the heap-sharing choice.
+			cfgBase := cfg
+			cfgBase.GCThreshold = 256 * 1024
+			base, err := s.RunConfig(r.app, cfgBase)
+			if err != nil {
+				return err
+			}
+			r.base = base
+		} else {
+			base, err := s.Run(r.app, r.ab.variant)
+			if err != nil {
+				return err
+			}
+			r.base = base
+		}
+		r.ab.mutate(&cfg)
+		abl, err := s.RunConfig(r.app, cfg)
+		if err != nil {
+			return err
+		}
+		r.abl = abl
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Ablation study: cost of removing each design mechanism")
 	fmt.Fprintf(w, "%-28s %-10s %-5s %12s %12s %8s\n",
 		"Mechanism removed", "App", "Cfg", "Full", "Ablated", "Ratio")
+	i := 0
 	for _, ab := range ablations {
-		for _, app := range ab.apps {
-			if !contains(s.AppNames(), app) {
-				continue
-			}
-			base, err := s.Run(app, ab.variant)
-			if err != nil {
-				return err
-			}
-			// Ablated runs bypass the cache (configs differ).
-			cfg := s.Config(app, ab.variant)
-			if ab.name == "shared-prefetch-heap" {
-				// Compare against the same GC threshold with the separate
-				// heap, so the ratio isolates the heap-sharing choice.
-				cfgBase := cfg
-				cfgBase.GCThreshold = 256 * 1024
-				r, err := runConfig(s, app, cfgBase)
-				if err != nil {
-					return err
-				}
-				base = r
-			}
-			ab.mutate(&cfg)
-			abl, err := runConfig(s, app, cfg)
-			if err != nil {
-				return err
-			}
+		for ; i < len(rows) && rows[i].ab.name == ab.name; i++ {
+			r := rows[i]
 			fmt.Fprintf(w, "%-28s %-10s %-5s %10dus %10dus %7.2fx\n",
-				ab.name, app, ab.variant,
-				base.Elapsed/sim.Microsecond, abl.Elapsed/sim.Microsecond,
-				float64(abl.Elapsed)/float64(base.Elapsed))
+				ab.name, r.app, ab.variant,
+				r.base.Elapsed/sim.Microsecond, r.abl.Elapsed/sim.Microsecond,
+				float64(r.abl.Elapsed)/float64(r.base.Elapsed))
 		}
 		fmt.Fprintf(w, "  (%s)\n", ab.detail)
 	}
 	return nil
-}
-
-// runConfig runs an application under an explicit configuration, outside
-// the variant cache.
-func runConfig(s *Session, app string, cfg dsm.Config) (*dsm.Report, error) {
-	spec, err := apps.ByName(app)
-	if err != nil {
-		return nil, err
-	}
-	sys := dsm.NewSystem(cfg)
-	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: s.Opt.Verify})
-	rep := sys.Run(inst.Run)
-	if err := inst.Err(); err != nil {
-		return nil, err
-	}
-	return rep, nil
 }
 
 func contains(ss []string, v string) bool {

@@ -8,6 +8,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"godsm/dsm"
 	"godsm/internal/apps"
@@ -50,6 +54,9 @@ func prefetching(v Variant) bool {
 	return v == VarP || v[len(v)-1] == 'P'
 }
 
+// AllVariants lists the paper's eight configurations in Figure 5 order.
+var AllVariants = []Variant{VarO, Var2T, Var4T, Var8T, VarP, Var2TP, Var4TP, Var8TP}
+
 // Options configure a harness session.
 type Options struct {
 	Procs int
@@ -58,6 +65,11 @@ type Options struct {
 	Verify bool
 	// Apps restricts the application list (nil = all eight).
 	Apps []string
+	// Workers bounds how many simulations may run concurrently
+	// (0 = runtime.GOMAXPROCS(0)). Each simulation is single-threaded and
+	// deterministic; parallelism exists only between independent
+	// simulations, so results are identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's platform: 8 processors, small scale.
@@ -66,15 +78,56 @@ func DefaultOptions() Options {
 }
 
 // Session caches run results so that experiments sharing configurations
-// (e.g. Table 1 and Figure 3) do not re-simulate.
+// (e.g. Table 1 and Figure 3) do not re-simulate, and fans independent
+// runs out over a bounded worker pool.
+//
+// Thread-safety contract: every Session method may be called from any
+// number of goroutines concurrently. Run deduplicates in-flight work
+// (singleflight): concurrent calls for the same app/variant trigger exactly
+// one simulation and all receive the same *dsm.Report. The number of
+// simulations executing at once never exceeds Options.Workers, no matter
+// how many goroutines call in; excess callers queue. Experiment render
+// functions may therefore run concurrently against one shared Session.
 type Session struct {
-	Opt   Options
-	cache map[string]*dsm.Report
+	Opt Options
+
+	sem chan struct{} // counting semaphore bounding concurrent simulations
+
+	mu    sync.Mutex
+	cache map[string]*flight
+
+	simCount atomic.Int64 // simulations executed (cache misses + RunConfig)
+	simWall  atomic.Int64 // cumulative wall nanoseconds spent simulating
+}
+
+// flight is one cached (possibly still running) simulation.
+type flight struct {
+	done chan struct{} // closed when rep/err are valid
+	rep  *dsm.Report
+	err  error
 }
 
 // NewSession creates a harness session.
 func NewSession(opt Options) *Session {
-	return &Session{Opt: opt, cache: make(map[string]*dsm.Report)}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		Opt:   opt,
+		sem:   make(chan struct{}, workers),
+		cache: make(map[string]*flight),
+	}
+}
+
+// Workers returns the effective worker-pool size.
+func (s *Session) Workers() int { return cap(s.sem) }
+
+// SimStats returns how many simulations have executed and their cumulative
+// single-threaded wall time. Comparing the latter with the session's
+// overall wall time gives the effective parallel speedup.
+func (s *Session) SimStats() (runs int64, wall time.Duration) {
+	return s.simCount.Load(), time.Duration(s.simWall.Load())
 }
 
 // AppNames returns the selected application names in figure order.
@@ -108,24 +161,112 @@ func (s *Session) Config(app string, v Variant) dsm.Config {
 	return cfg
 }
 
-// Run simulates one application under one variant (cached).
+// Run simulates one application under one variant (cached, singleflight).
+// If another goroutine is already simulating the same pair, Run waits for
+// its result instead of simulating again — so Fig2's "O" run and Fig4's
+// "O" run simulate once even when the experiments render concurrently.
 func (s *Session) Run(app string, v Variant) (*dsm.Report, error) {
 	key := app + "/" + string(v)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+	s.mu.Lock()
+	if f, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.rep, f.err
 	}
+	f := &flight{done: make(chan struct{})}
+	s.cache[key] = f
+	s.mu.Unlock()
+
+	rep, err := s.RunConfig(app, s.Config(app, v))
+	if err != nil {
+		err = fmt.Errorf("%s/%s: %w", app, v, err)
+	}
+	f.rep, f.err = rep, err
+	close(f.done)
+	return f.rep, f.err
+}
+
+// RunConfig simulates one application under an explicit configuration,
+// outside the variant cache (ablations and sweeps use non-variant
+// configs). The call counts against the session's worker pool, so
+// arbitrarily many goroutines may invoke it concurrently.
+func (s *Session) RunConfig(app string, cfg dsm.Config) (*dsm.Report, error) {
 	spec, err := apps.ByName(app)
 	if err != nil {
 		return nil, err
 	}
-	sys := dsm.NewSystem(s.Config(app, v))
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	start := time.Now()
+	sys := dsm.NewSystem(cfg)
 	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: s.Opt.Verify})
 	rep := sys.Run(inst.Run)
+	s.simCount.Add(1)
+	s.simWall.Add(int64(time.Since(start)))
 	if err := inst.Err(); err != nil {
-		return nil, fmt.Errorf("%s/%s: verification failed: %w", app, v, err)
+		return nil, fmt.Errorf("verification failed: %w", err)
 	}
-	s.cache[key] = rep
 	return rep, nil
+}
+
+// RunKey names one cached simulation: an application/variant pair.
+type RunKey struct {
+	App     string
+	Variant Variant
+}
+
+// Grid returns the cross product of the session's selected applications
+// and the given variants, in rendering order.
+func (s *Session) Grid(variants []Variant) []RunKey {
+	var keys []RunKey
+	for _, app := range s.AppNames() {
+		for _, v := range variants {
+			keys = append(keys, RunKey{app, v})
+		}
+	}
+	return keys
+}
+
+// Prewarm schedules the given runs on the worker pool and returns
+// immediately. Rendering code later calls Run in paper order and picks the
+// finished (or in-flight) results out of the cache; errors surface there
+// too.
+func (s *Session) Prewarm(keys []RunKey) {
+	for _, k := range keys {
+		go s.Run(k.App, k.Variant)
+	}
+}
+
+// RunAll simulates the given runs across the worker pool and blocks until
+// all complete, returning the first error.
+func (s *Session) RunAll(keys []RunKey) error {
+	return each(len(keys), func(i int) error {
+		_, err := s.Run(keys[i].App, keys[i].Variant)
+		return err
+	})
+}
+
+// each runs job(0) … job(n-1) concurrently, waits for all of them, and
+// returns the lowest-index error. Jobs typically call Run or RunConfig,
+// which bound actual simulation concurrency at the session's worker pool —
+// each itself spawns freely.
+func each(n int, job func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Experiment regenerates one paper artifact.
@@ -133,17 +274,45 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(s *Session, w io.Writer) error
+	// Variants is the cached-run grid the experiment reads (crossed with
+	// the session's applications); drivers prewarm it so the whole grid
+	// simulates in parallel while rendering stays in paper order. Nil for
+	// experiments that fan out over explicit configs internally.
+	Variants []Variant
 }
 
 // Experiments lists every artifact in paper order.
 var Experiments = []Experiment{
-	{"fig1", "Figure 1: execution time breakdown, TreadMarks baseline", RunFig1},
-	{"fig2", "Figure 2: performance impact of prefetching", RunFig2},
-	{"table1", "Table 1: prefetching statistics", RunTable1},
-	{"fig3", "Figure 3: breakdown of the original remote misses", RunFig3},
-	{"fig4", "Figure 4: performance impact of multithreading", RunFig4},
-	{"table2", "Table 2: multithreading statistics", RunTable2},
-	{"fig5", "Figure 5: combining prefetching and multithreading", RunFig5},
+	{ID: "fig1", Title: "Figure 1: execution time breakdown, TreadMarks baseline",
+		Run: RunFig1, Variants: []Variant{VarO}},
+	{ID: "fig2", Title: "Figure 2: performance impact of prefetching",
+		Run: RunFig2, Variants: []Variant{VarO, VarP}},
+	{ID: "table1", Title: "Table 1: prefetching statistics",
+		Run: RunTable1, Variants: []Variant{VarO, VarP}},
+	{ID: "fig3", Title: "Figure 3: breakdown of the original remote misses",
+		Run: RunFig3, Variants: []Variant{VarP}},
+	{ID: "fig4", Title: "Figure 4: performance impact of multithreading",
+		Run: RunFig4, Variants: []Variant{VarO, Var2T, Var4T, Var8T}},
+	{ID: "table2", Title: "Table 2: multithreading statistics",
+		Run: RunTable2, Variants: []Variant{VarO, Var2T, Var4T, Var8T}},
+	{ID: "fig5", Title: "Figure 5: combining prefetching and multithreading",
+		Run: RunFig5, Variants: AllVariants},
+}
+
+// PrewarmKeys returns the union of the cached-run grids the given
+// experiments will read, deduplicated, in first-use order.
+func PrewarmKeys(s *Session, exps []Experiment) []RunKey {
+	seen := make(map[RunKey]bool)
+	var keys []RunKey
+	for _, e := range exps {
+		for _, k := range s.Grid(e.Variants) {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
 }
 
 // ByID returns the experiment with the given id.

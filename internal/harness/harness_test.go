@@ -3,8 +3,10 @@ package harness
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
+	"godsm/dsm"
 	"godsm/internal/apps"
 )
 
@@ -54,6 +56,132 @@ func TestSessionCaching(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("session did not cache the report")
+	}
+}
+
+// TestCrossWorkerDeterminism proves the parallel runner's central claim:
+// every app/variant pair produces a byte-identical dsm.Report (elapsed,
+// breakdowns, all counters) whether simulations run strictly sequentially
+// (workers=1) or fanned out over 8 workers.
+func TestCrossWorkerDeterminism(t *testing.T) {
+	opt := Options{Procs: 4, Scale: apps.Unit}
+	optSeq, optPar := opt, opt
+	optSeq.Workers = 1
+	optPar.Workers = 8
+	seq := NewSession(optSeq)
+	par := NewSession(optPar)
+	if err := par.RunAll(par.Grid(AllVariants)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.RunAll(seq.Grid(AllVariants)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range seq.Grid(AllVariants) {
+		a, err := seq.Run(k.App, k.Variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Run(k.App, k.Variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+			t.Errorf("%s/%s: workers=1 and workers=8 reports differ:\nseq: %s\npar: %s",
+				k.App, k.Variant, fa, fb)
+		}
+	}
+	if runs, _ := par.SimStats(); runs != int64(len(par.Grid(AllVariants))) {
+		t.Errorf("parallel session simulated %d runs, want %d (no duplicates)",
+			runs, len(par.Grid(AllVariants)))
+	}
+}
+
+// TestSingleflight: many goroutines racing on the same key must trigger
+// exactly one simulation and all observe the same report pointer.
+func TestSingleflight(t *testing.T) {
+	s := NewSession(Options{Procs: 4, Scale: apps.Unit, Workers: 4})
+	const callers = 16
+	reps := make([]*dsm.Report, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := s.Run("SOR", VarO)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reps[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if reps[i] != reps[0] {
+			t.Fatal("concurrent callers got different report pointers")
+		}
+	}
+	if runs, _ := s.SimStats(); runs != 1 {
+		t.Fatalf("%d simulations ran, want 1 (singleflight)", runs)
+	}
+}
+
+// TestPrewarm: prewarming the grid leaves rendering with pure cache hits.
+func TestPrewarm(t *testing.T) {
+	s := NewSession(Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR"}, Workers: 2})
+	keys := PrewarmKeys(s, Experiments[:4]) // fig1..fig3: SOR × {O, P}
+	if len(keys) != 2 {
+		t.Fatalf("prewarm keys = %v, want SOR×{O,P}", keys)
+	}
+	s.Prewarm(keys)
+	if err := s.RunAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	runsBefore, _ := s.SimStats()
+	if runsBefore != 2 {
+		t.Fatalf("%d simulations after prewarm, want 2", runsBefore)
+	}
+	var buf bytes.Buffer
+	if err := RunFig2(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if runsAfter, _ := s.SimStats(); runsAfter != runsBefore {
+		t.Errorf("rendering after prewarm re-simulated: %d -> %d runs", runsBefore, runsAfter)
+	}
+}
+
+// TestConcurrentExperimentRendering: all experiments rendering at once
+// against one session must produce exactly the output sequential rendering
+// produces.
+func TestConcurrentExperimentRendering(t *testing.T) {
+	run := func(workers int) map[string]string {
+		s := NewSession(Options{Procs: 4, Scale: apps.Unit,
+			Apps: []string{"SOR", "FFT"}, Workers: workers})
+		out := make([]bytes.Buffer, len(Experiments))
+		var wg sync.WaitGroup
+		for i, e := range Experiments {
+			wg.Add(1)
+			go func(i int, e Experiment) {
+				defer wg.Done()
+				if err := e.Run(s, &out[i]); err != nil {
+					t.Error(err)
+				}
+			}(i, e)
+		}
+		wg.Wait()
+		m := make(map[string]string)
+		for i, e := range Experiments {
+			m[e.ID] = out[i].String()
+		}
+		return m
+	}
+	seq := run(1)
+	par := run(8)
+	for id, want := range seq {
+		if par[id] != want {
+			t.Errorf("%s rendered differently under 8 workers:\n--- workers=1\n%s--- workers=8\n%s",
+				id, want, par[id])
+		}
 	}
 }
 

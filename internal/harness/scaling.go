@@ -11,35 +11,55 @@ import (
 // the paper fixes 8 processors). For each application it reports elapsed
 // time and self-relative speedup at 1, 2, 4 and 8 processors under the
 // original and prefetching configurations — showing how communication
-// grows with the machine and how much of it prefetching recovers.
+// grows with the machine and how much of it prefetching recovers. The
+// whole app × config × procs grid simulates concurrently on the session's
+// worker pool; rendering prints in table order.
 func RunScaling(s *Session, w io.Writer) error {
+	procs := []int{1, 2, 4, 8}
+	variants := []Variant{VarO, VarP}
+	type job struct {
+		app     string
+		v       Variant
+		procs   int
+		elapsed sim.Time
+	}
+	var jobs []*job
+	for _, app := range s.AppNames() {
+		for _, v := range variants {
+			for _, p := range procs {
+				jobs = append(jobs, &job{app: app, v: v, procs: p})
+			}
+		}
+	}
+	if err := each(len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := s.Config(j.app, j.v)
+		cfg.Procs = j.procs
+		rep, err := s.RunConfig(j.app, cfg)
+		if err != nil {
+			return err
+		}
+		j.elapsed = rep.Elapsed
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Scaling: elapsed time and speedup vs processor count")
 	fmt.Fprintf(w, "%-10s %-4s %12s %12s %12s %12s\n",
 		"App", "Cfg", "1p", "2p", "4p", "8p")
-	procs := []int{1, 2, 4, 8}
-	for _, app := range s.AppNames() {
-		for _, v := range []Variant{VarO, VarP} {
-			var elapsed []sim.Time
-			for _, p := range procs {
-				cfg := s.Config(app, v)
-				cfg.Procs = p
-				rep, err := runConfig(s, app, cfg)
-				if err != nil {
-					return err
-				}
-				elapsed = append(elapsed, rep.Elapsed)
-			}
-			fmt.Fprintf(w, "%-10s %-4s", app, v)
-			for _, e := range elapsed {
-				fmt.Fprintf(w, " %10dus", e/sim.Microsecond)
-			}
-			fmt.Fprintln(w)
-			fmt.Fprintf(w, "%-10s %-4s", "", "↳spd")
-			for _, e := range elapsed {
-				fmt.Fprintf(w, " %11.2fx", float64(elapsed[0])/float64(e))
-			}
-			fmt.Fprintln(w)
+	for i := 0; i < len(jobs); i += len(procs) {
+		row := jobs[i : i+len(procs)]
+		fmt.Fprintf(w, "%-10s %-4s", row[0].app, row[0].v)
+		for _, j := range row {
+			fmt.Fprintf(w, " %10dus", j.elapsed/sim.Microsecond)
 		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s %-4s", "", "↳spd")
+		for _, j := range row {
+			fmt.Fprintf(w, " %11.2fx", float64(row[0].elapsed)/float64(j.elapsed))
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w, "(speedups are relative to the same configuration on 1 processor)")
 	return nil

@@ -32,34 +32,53 @@ var netPoints = []netPoint{
 
 // RunNetSweep regenerates the network sensitivity table: for each network
 // point and a representative app pair, the speedup of P, 4T and the
-// combined 4TP over the original.
+// combined 4TP over the original. All network points simulate concurrently
+// on the session's worker pool; rendering prints in table order.
 func RunNetSweep(s *Session, w io.Writer) error {
-	fmt.Fprintln(w, "Network sensitivity: speedup of each technique vs. interconnect")
-	fmt.Fprintf(w, "%-22s %-10s %10s %8s %8s %8s\n",
-		"Network", "App", "O elapsed", "P", "4T", "4TP")
 	appsToRun := []string{"SOR", "WATER-NSQ"}
 	if len(s.Opt.Apps) > 0 {
 		appsToRun = s.Opt.Apps
 	}
+	sweepVariants := []Variant{VarO, VarP, Var4T, Var4TP}
+	type cell struct {
+		np  netPoint
+		app string
+		v   Variant
+		rep *dsm.Report
+	}
+	var cells []*cell
 	for _, np := range netPoints {
 		for _, app := range appsToRun {
-			reps := make(map[Variant]*dsm.Report)
-			for _, v := range []Variant{VarO, VarP, Var4T, Var4TP} {
-				cfg := s.Config(app, v)
-				cfg.Net.PropDelay = np.prop
-				cfg.Net.NsPerByte = 8000 / np.mbps
-				rep, err := runConfig(s, app, cfg)
-				if err != nil {
-					return err
-				}
-				reps[v] = rep
+			for _, v := range sweepVariants {
+				cells = append(cells, &cell{np: np, app: app, v: v})
 			}
-			fmt.Fprintf(w, "%-22s %-10s %8dus %7.2fx %7.2fx %7.2fx\n",
-				np.label, app, reps[VarO].Elapsed/sim.Microsecond,
-				reps[VarP].Speedup(reps[VarO]),
-				reps[Var4T].Speedup(reps[VarO]),
-				reps[Var4TP].Speedup(reps[VarO]))
 		}
+	}
+	if err := each(len(cells), func(i int) error {
+		c := cells[i]
+		cfg := s.Config(c.app, c.v)
+		cfg.Net.PropDelay = c.np.prop
+		cfg.Net.NsPerByte = 8000 / c.np.mbps
+		rep, err := s.RunConfig(c.app, cfg)
+		c.rep = rep
+		return err
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Network sensitivity: speedup of each technique vs. interconnect")
+	fmt.Fprintf(w, "%-22s %-10s %10s %8s %8s %8s\n",
+		"Network", "App", "O elapsed", "P", "4T", "4TP")
+	for i := 0; i < len(cells); i += len(sweepVariants) {
+		reps := make(map[Variant]*dsm.Report)
+		for j, v := range sweepVariants {
+			reps[v] = cells[i+j].rep
+		}
+		fmt.Fprintf(w, "%-22s %-10s %8dus %7.2fx %7.2fx %7.2fx\n",
+			cells[i].np.label, cells[i].app, reps[VarO].Elapsed/sim.Microsecond,
+			reps[VarP].Speedup(reps[VarO]),
+			reps[Var4T].Speedup(reps[VarO]),
+			reps[Var4TP].Speedup(reps[VarO]))
 	}
 	return nil
 }

@@ -14,6 +14,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 )
 
 // PageSize is the virtual-memory page size (4 KB, as on the paper's AIX
@@ -53,30 +55,96 @@ type Diff struct {
 // runHeaderSize is the wire overhead per run (offset + length).
 const runHeaderSize = 4
 
+// wordSize is the diff scanner's comparison granularity: 8 bytes compared
+// per load instead of 1.
+const wordSize = 8
+
+// runBound is one run's [start, end) byte range, recorded during the scan
+// pass before any allocation happens.
+type runBound struct{ start, end int }
+
+// diffScratch holds the reusable per-call state of MakeDiff so that
+// steady-state diffing allocates only the returned Diff itself. A sync.Pool
+// keeps the scratch safe to share between concurrently running simulations.
+type diffScratch struct{ bounds []runBound }
+
+var diffPool = sync.Pool{New: func() any { return new(diffScratch) }}
+
+// nextDiff returns the index of the first byte >= i at which twin and
+// current differ, or PageSize if the rest of the page matches. Equal
+// stretches are skipped a word at a time.
+func nextDiff(twin, current []byte, i int) int {
+	for i+wordSize <= PageSize {
+		x := binary.LittleEndian.Uint64(twin[i:]) ^ binary.LittleEndian.Uint64(current[i:])
+		if x != 0 {
+			return i + bits.TrailingZeros64(x)>>3
+		}
+		i += wordSize
+	}
+	for i < PageSize && twin[i] == current[i] {
+		i++
+	}
+	return i
+}
+
+// nextMatch returns the index of the first byte >= i at which twin and
+// current agree, or PageSize if the rest of the page differs. Fully
+// differing stretches are skipped a word at a time; a zero byte in the XOR
+// (an equal byte) is located with the SWAR zero-byte trick.
+func nextMatch(twin, current []byte, i int) int {
+	const (
+		lo = 0x0101010101010101
+		hi = 0x8080808080808080
+	)
+	for i+wordSize <= PageSize {
+		x := binary.LittleEndian.Uint64(twin[i:]) ^ binary.LittleEndian.Uint64(current[i:])
+		if zero := (x - lo) &^ x & hi; zero != 0 {
+			return i + bits.TrailingZeros64(zero)>>3
+		}
+		i += wordSize
+	}
+	for i < PageSize && twin[i] != current[i] {
+		i++
+	}
+	return i
+}
+
 // MakeDiff compares a modified page against its twin and returns the RLE
 // diff, or nil if the page is unchanged. Both slices must be PageSize long.
+//
+// The comparison runs a word (8 bytes) at a time, and the diff's runs share
+// one backing buffer sized during the scan pass, so a call performs at most
+// two allocations regardless of how fragmented the modifications are (and
+// none when the page is unchanged).
 func MakeDiff(page PageID, twin, current []byte) *Diff {
 	if len(twin) != PageSize || len(current) != PageSize {
 		panic(fmt.Sprintf("pagemem: MakeDiff on %d/%d byte buffers", len(twin), len(current)))
 	}
-	var runs []Run
-	i := 0
-	for i < PageSize {
-		if twin[i] == current[i] {
-			i++
-			continue
-		}
-		start := i
-		for i < PageSize && twin[i] != current[i] {
-			i++
-		}
-		data := make([]byte, i-start)
-		copy(data, current[start:i])
-		runs = append(runs, Run{Offset: uint16(start), Data: data})
+	sc := diffPool.Get().(*diffScratch)
+	bounds := sc.bounds[:0]
+	total := 0
+	for i := nextDiff(twin, current, 0); i < PageSize; {
+		end := nextMatch(twin, current, i)
+		bounds = append(bounds, runBound{i, end})
+		total += end - i
+		i = nextDiff(twin, current, end)
 	}
-	if runs == nil {
+	sc.bounds = bounds
+	if len(bounds) == 0 {
+		diffPool.Put(sc)
 		return nil
 	}
+	runs := make([]Run, len(bounds))
+	data := make([]byte, total)
+	off := 0
+	for j, b := range bounds {
+		n := b.end - b.start
+		d := data[off : off+n : off+n]
+		copy(d, current[b.start:b.end])
+		runs[j] = Run{Offset: uint16(b.start), Data: d}
+		off += n
+	}
+	diffPool.Put(sc)
 	return &Diff{Page: page, Runs: runs}
 }
 
@@ -114,14 +182,37 @@ func (d *Diff) DataBytes() int {
 // Store holds one node's local copies of shared pages and their twins.
 // Frames are allocated lazily and are zero-filled, matching the convention
 // that the shared heap starts zeroed everywhere.
+//
+// Page-sized buffers are carved out of multi-page slabs rather than
+// allocated one by one, and twin buffers retired by DropTwin are kept on a
+// free list for the next MakeTwin, so steady-state twinning does not
+// allocate. A Store belongs to one simulated node and is not safe for
+// concurrent use; concurrently running simulations each have their own
+// stores.
 type Store struct {
 	frames map[PageID][]byte
 	twins  map[PageID][]byte
+
+	slab      []byte   // remainder of the current zeroed allocation slab
+	freeTwins [][]byte // retired twin buffers, reused by MakeTwin
 }
+
+// slabPages is how many page frames one allocation slab provides.
+const slabPages = 64
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{frames: make(map[PageID][]byte), twins: make(map[PageID][]byte)}
+}
+
+// newPageBuf carves one zeroed page-sized buffer out of the current slab.
+func (s *Store) newPageBuf() []byte {
+	if len(s.slab) < PageSize {
+		s.slab = make([]byte, slabPages*PageSize)
+	}
+	b := s.slab[:PageSize:PageSize]
+	s.slab = s.slab[PageSize:]
+	return b
 }
 
 // Frame returns the local copy of page p, allocating a zeroed frame on
@@ -129,7 +220,7 @@ func NewStore() *Store {
 func (s *Store) Frame(p PageID) []byte {
 	f, ok := s.frames[p]
 	if !ok {
-		f = make([]byte, PageSize)
+		f = s.newPageBuf()
 		s.frames[p] = f
 	}
 	return f
@@ -144,16 +235,29 @@ func (s *Store) MakeTwin(p PageID) {
 	if _, ok := s.twins[p]; ok {
 		panic(fmt.Sprintf("pagemem: twin for page %d already exists", p))
 	}
-	twin := make([]byte, PageSize)
-	copy(twin, s.Frame(p))
+	var twin []byte
+	if n := len(s.freeTwins); n > 0 {
+		twin = s.freeTwins[n-1]
+		s.freeTwins = s.freeTwins[:n-1]
+	} else {
+		twin = s.newPageBuf()
+	}
+	copy(twin, s.Frame(p)) // overwrites the whole buffer; no zeroing needed
 	s.twins[p] = twin
 }
 
-// Twin returns page p's twin, or nil if none exists.
+// Twin returns page p's twin, or nil if none exists. The returned slice is
+// only valid until DropTwin(p): the buffer is then recycled for a future
+// twin.
 func (s *Store) Twin(p PageID) []byte { return s.twins[p] }
 
-// DropTwin discards page p's twin.
-func (s *Store) DropTwin(p PageID) { delete(s.twins, p) }
+// DropTwin discards page p's twin and recycles its buffer.
+func (s *Store) DropTwin(p PageID) {
+	if twin, ok := s.twins[p]; ok {
+		s.freeTwins = append(s.freeTwins, twin)
+		delete(s.twins, p)
+	}
+}
 
 // TwinCount returns the number of live twins (diagnostics / GC accounting).
 func (s *Store) TwinCount() int { return len(s.twins) }

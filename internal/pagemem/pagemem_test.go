@@ -2,6 +2,7 @@ package pagemem
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -115,6 +116,119 @@ func TestDisjointDiffsCommuteProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// makeDiffRef is the original byte-at-a-time MakeDiff, kept as the
+// reference implementation for the word-wise scanner.
+func makeDiffRef(page PageID, twin, current []byte) *Diff {
+	var runs []Run
+	i := 0
+	for i < PageSize {
+		if twin[i] == current[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < PageSize && twin[i] != current[i] {
+			i++
+		}
+		data := make([]byte, i-start)
+		copy(data, current[start:i])
+		runs = append(runs, Run{Offset: uint16(start), Data: data})
+	}
+	if runs == nil {
+		return nil
+	}
+	return &Diff{Page: page, Runs: runs}
+}
+
+func diffsEqual(a, b *Diff) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Page != b.Page || len(a.Runs) != len(b.Runs) {
+		return false
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Offset != b.Runs[i].Offset ||
+			!bytes.Equal(a.Runs[i].Data, b.Runs[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the word-wise MakeDiff produces exactly the diff the byte-wise
+// reference produces, on random twin/page pairs whose modified runs
+// straddle 8-byte word boundaries and the page edges.
+func TestMakeDiffMatchesByteReference(t *testing.T) {
+	f := func(seed int64, nRuns uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, PageSize)
+		rng.Read(twin)
+		cur := make([]byte, PageSize)
+		copy(cur, twin)
+		for i := 0; i < int(nRuns%24); i++ {
+			// Random run lengths around wordSize so many runs start or end
+			// mid-word; a random XOR mask keeps some bytes equal inside the
+			// dirtied range, splitting runs at arbitrary offsets.
+			start := rng.Intn(PageSize)
+			n := 1 + rng.Intn(3*wordSize)
+			if start+n > PageSize {
+				n = PageSize - start
+			}
+			for j := start; j < start+n; j++ {
+				cur[j] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		// Explicitly exercise both page edges half the time.
+		if seed%2 == 0 {
+			cur[0] ^= 0xA5
+			cur[PageSize-1] ^= 0x5A
+		}
+		got := MakeDiff(9, twin, cur)
+		want := makeDiffRef(9, twin, cur)
+		return diffsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Directed edge cases for the word-wise scanner: runs that start or stop at
+// every offset within a word, at the very first and last bytes of the page,
+// and a fully modified page.
+func TestMakeDiffWordBoundaryEdges(t *testing.T) {
+	check := func(name string, twin, cur []byte) {
+		t.Helper()
+		if got, want := MakeDiff(1, twin, cur), makeDiffRef(1, twin, cur); !diffsEqual(got, want) {
+			t.Errorf("%s: word-wise diff %+v != reference %+v", name, got, want)
+		}
+	}
+	for off := 0; off < 2*wordSize; off++ {
+		for n := 1; n <= 2*wordSize; n++ {
+			twin := make([]byte, PageSize)
+			cur := make([]byte, PageSize)
+			for j := off; j < off+n; j++ {
+				cur[j] = 0xFF
+			}
+			check(fmt.Sprintf("run [%d,%d)", off, off+n), twin, cur)
+		}
+	}
+	twin := make([]byte, PageSize)
+	cur := make([]byte, PageSize)
+	cur[PageSize-1] = 1
+	check("last byte", twin, cur)
+	cur[PageSize-1] = 0
+	cur[0] = 1
+	check("first byte", twin, cur)
+	for i := range cur {
+		cur[i] = 0xEE
+	}
+	check("full page", twin, cur)
 }
 
 func TestStoreFrameLazyZero(t *testing.T) {

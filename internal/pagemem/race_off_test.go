@@ -1,0 +1,8 @@
+//go:build !race
+
+package pagemem
+
+// raceEnabled reports whether the race detector is on. Allocation
+// assertions are skipped under -race: the detector makes sync.Pool drop
+// items randomly, so AllocsPerRun is not meaningful there.
+const raceEnabled = false

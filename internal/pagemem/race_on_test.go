@@ -1,0 +1,5 @@
+//go:build race
+
+package pagemem
+
+const raceEnabled = true

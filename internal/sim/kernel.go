@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -32,21 +31,61 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// deliberately does not implement container/heap: every Push/Pop through
+// that interface boxes the event into an interface value, which allocates
+// on the simulator's hottest path (one push and one pop per event). Events
+// also stay in a reusable flat slice whose capacity persists across pops.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h eventHeap) peek() event { return h[0] }
+
+func (h *eventHeap) pushEvent(e event) {
+	hs := append(*h, e)
+	// Sift up.
+	for i := len(hs) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !hs.less(i, parent) {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
+		i = parent
+	}
+	*h = hs
+}
+
+func (h *eventHeap) popEvent() event {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs[n] = event{} // release the closure so finished events can be GC'd
+	hs = hs[:n]
+	// Sift down.
+	for i := 0; ; {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && hs.less(r, kid) {
+			kid = r
+		}
+		if !hs.less(kid, i) {
+			break
+		}
+		hs[i], hs[kid] = hs[kid], hs[i]
+		i = kid
+	}
+	*h = hs
+	return top
+}
 
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewKernel.

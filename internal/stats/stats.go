@@ -5,6 +5,8 @@
 package stats
 
 import (
+	"fmt"
+
 	"godsm/internal/sim"
 )
 
@@ -101,6 +103,15 @@ type Report struct {
 	MsgsTotal  int64
 	BytesTotal int64
 	Drops      int64
+}
+
+// Fingerprint returns a deterministic rendering of every field of the
+// report (elapsed time, per-processor breakdowns, all node counters,
+// traffic totals). Two runs of the same configuration must produce equal
+// fingerprints regardless of what else executes concurrently — the
+// parallel experiment runner's determinism tests compare these.
+func (r *Report) Fingerprint() string {
+	return fmt.Sprintf("%+v", *r)
 }
 
 // Sum returns the element-wise sum of all nodes' counters.
