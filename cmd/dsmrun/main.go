@@ -7,6 +7,12 @@
 //	dsmrun -app SOR [-procs 8] [-threads 1] [-prefetch]
 //	       [-switch-miss] [-switch-sync] [-scale unit|small|paper]
 //	       [-throttle N] [-verify] [-workers N]
+//	       [-loss P] [-dup P] [-fault-seed N]
+//
+// A nonzero -loss or -dup enables deterministic fault injection (seeded by
+// -fault-seed) and automatically switches the protocol onto its reliable
+// ack/retransmit transport; the report then includes the transport's
+// recovery counters.
 //
 // -app accepts a single name, a comma-separated list, or "all". With more
 // than one application the independent simulations fan out over a worker
@@ -43,6 +49,9 @@ func main() {
 	kinds := flag.Bool("kinds", false, "print per-message-kind traffic table")
 	traceN := flag.Int("trace", 0, "print the last N protocol events (0 = off, single app only)")
 	workers := flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
+	loss := flag.Float64("loss", 0, "message loss probability (nonzero enables fault injection)")
+	dup := flag.Float64("dup", 0, "message duplication probability")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
 	flag.Parse()
 
 	sc, err := apps.ParseScale(*scale)
@@ -72,6 +81,9 @@ func main() {
 	cfg.SwitchOnMiss = *swMiss
 	cfg.SwitchOnSync = *swSync || *threads > 1
 	cfg.ThrottlePf = *throttle
+	if *loss > 0 || *dup > 0 {
+		cfg.Net.Faults = dsm.FaultPlan{Seed: *faultSeed, Loss: *loss, Dup: *dup}
+	}
 
 	if len(names) == 1 {
 		runOne(names[0], cfg, sc, *verify, *kinds, *traceN)
@@ -220,6 +232,11 @@ func printReport(app string, r *dsm.Report) {
 	}
 	fmt.Printf("protocol: %d twins, %d diffs made, %d diffs applied\n",
 		n.TwinsMade, n.DiffsMade, n.DiffsApplied)
+	if n.Retransmits+n.Timeouts+n.AcksSent+n.DupSuppressed > 0 {
+		fmt.Printf("transport: %d retransmits (%d timeouts, max RTO %d ms), %d acks, %d duplicates suppressed, %d/%d pf req/reply dropped\n",
+			n.Retransmits, n.Timeouts, n.MaxBackoff/sim.Millisecond,
+			n.AcksSent, n.DupSuppressed, n.PfReqDropped, n.PfReplyDropped)
+	}
 }
 
 func fatal(err error) {

@@ -104,5 +104,17 @@ func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
 // DefaultNetConfig returns the calibrated ATM network parameters.
 func DefaultNetConfig() netsim.Config { return netsim.DefaultConfig() }
 
+// FaultPlan describes deterministic network fault injection (loss,
+// duplication, reordering jitter, link brown-outs, NIC stalls), seeded so
+// every run replays exactly. Set it on Config.Net.Faults; a non-zero plan
+// automatically switches the protocol to its reliable ack/retransmit
+// transport. The zero plan injects nothing and leaves runs byte-identical
+// to a fault-free network.
+type FaultPlan = netsim.FaultPlan
+
+// LinkFault is one transient window on a node's link, used by
+// FaultPlan.Brownouts and FaultPlan.Stalls.
+type LinkFault = netsim.LinkFault
+
 // DefaultCosts returns the calibrated protocol CPU cost model.
 func DefaultCosts() proto.Costs { return proto.DefaultCosts() }

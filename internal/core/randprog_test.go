@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
 	"godsm/internal/sim"
 )
@@ -199,6 +200,15 @@ func rpConfigs() []Config {
 	eager.EagerRC = true
 	eagerMT := mk(2, 2, true, false, 8192)
 	eagerMT.EagerRC = true
+	// Faulty-network configurations: the oracle must hold while the
+	// reliable transport recovers lost, duplicated and reordered messages.
+	faulty := mk(4, 1, false, false, 0)
+	faulty.Net.Faults = netsim.FaultPlan{Seed: 9, Loss: 0.05, Dup: 0.03,
+		Reorder: 0.1, MaxJitter: 2 * sim.Millisecond}
+	faultyFull := mk(3, 2, true, false, 4096)
+	faultyFull.Net.Faults = netsim.FaultPlan{Seed: 10, Loss: 0.03, Dup: 0.05,
+		Reorder: 0.2, MaxJitter: sim.Millisecond,
+		Brownouts: []netsim.LinkFault{{Node: 1, From: 5 * sim.Millisecond, To: 25 * sim.Millisecond}}}
 	return []Config{
 		mk(1, 1, false, false, 0),
 		mk(3, 1, false, false, 0),
@@ -212,6 +222,8 @@ func rpConfigs() []Config {
 		reliable,                    // reliable prefetch messages (ablation)
 		eager,                       // eager release consistency
 		eagerMT,                     // eager RC + MT + prefetch + GC
+		faulty,                      // lossy network + reliable transport
+		faultyFull,                  // faults + brown-out + MT + prefetch + GC
 	}
 }
 

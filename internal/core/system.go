@@ -126,6 +126,11 @@ func NewSystem(cfg Config) *System {
 		node := proto.NewNode(i, cfg.Procs, s.K, cpu, &cfg.Costs, &s.NodeSt[i])
 		node.Send = s.Net.Send
 		node.SetMT(cfg.MT())
+		if cfg.Net.Faults.Active() {
+			// An adversarial network needs earned reliability: switch the
+			// node from fiat delivery to the ack/retransmit transport.
+			node.EnableTransport()
+		}
 		node.ThrottlePf = cfg.ThrottlePf
 		node.GCThreshold = cfg.GCThreshold
 		node.NoTokenCache = cfg.NoTokenCache

@@ -54,9 +54,9 @@ func RunFig2(s *Session, w io.Writer) error {
 // RunTable1 regenerates Table 1: prefetching statistics.
 func RunTable1(s *Session, w io.Writer) error {
 	fmt.Fprintln(w, "Table 1: prefetching statistics (O = original, P = with prefetching)")
-	fmt.Fprintf(w, "%-10s %8s %8s | %10s %10s | %8s %8s | %9s %9s\n",
+	fmt.Fprintf(w, "%-10s %8s %8s | %10s %10s | %8s %8s | %9s %9s | %7s %7s\n",
 		"Benchmark", "Unnec%", "Covrge%", "TrafficO", "TrafficP",
-		"MissesO", "MissesP", "AvgLatO", "AvgLatP")
+		"MissesO", "MissesP", "AvgLatO", "AvgLatP", "ReqDrop", "RepDrop")
 	for _, app := range s.AppNames() {
 		repO, err := s.Run(app, VarO)
 		if err != nil {
@@ -66,12 +66,14 @@ func RunTable1(s *Session, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-10s %7.2f%% %7.2f%% | %9sK %9sK | %8d %8d | %7sus %7sus\n",
+		nP := repP.Sum()
+		fmt.Fprintf(w, "%-10s %7.2f%% %7.2f%% | %9sK %9sK | %8d %8d | %7sus %7sus | %7d %7d\n",
 			app,
 			repP.UnnecessaryPfPct(), repP.CoverageFactor(),
 			kb(repO.BytesTotal), kb(repP.BytesTotal),
 			repO.TotalMisses(), repP.TotalMisses(),
-			usec(repO.AvgMissLatency()), usec(repP.AvgMissLatency()))
+			usec(repO.AvgMissLatency()), usec(repP.AvgMissLatency()),
+			nP.PfReqDropped, nP.PfReplyDropped)
 	}
 	return nil
 }

@@ -70,6 +70,10 @@ type Options struct {
 	// deterministic; parallelism exists only between independent
 	// simulations, so results are identical for every worker count.
 	Workers int
+	// Faults injects deterministic network faults into every run of the
+	// session (the zero plan injects nothing). The faults experiment uses
+	// its own escalating schedules instead.
+	Faults dsm.FaultPlan
 }
 
 // DefaultOptions mirrors the paper's platform: 8 processors, small scale.
@@ -158,6 +162,7 @@ func (s *Session) Config(app string, v Variant) dsm.Config {
 	if app == "RADIX" && cfg.Prefetch && cfg.ThreadsPerProc > 1 {
 		cfg.ThrottlePf = 2
 	}
+	cfg.Net.Faults = s.Opt.Faults
 	return cfg
 }
 
@@ -191,6 +196,18 @@ func (s *Session) Run(app string, v Variant) (*dsm.Report, error) {
 // configs). The call counts against the session's worker pool, so
 // arbitrarily many goroutines may invoke it concurrently.
 func (s *Session) RunConfig(app string, cfg dsm.Config) (*dsm.Report, error) {
+	return s.runConfig(app, cfg, s.Opt.Verify)
+}
+
+// RunConfigVerified is RunConfig with golden-output verification forced on,
+// regardless of the session's Verify option. The chaos soak uses it: under
+// fault injection, completing is not enough — the computed results must
+// still match the sequential goldens.
+func (s *Session) RunConfigVerified(app string, cfg dsm.Config) (*dsm.Report, error) {
+	return s.runConfig(app, cfg, true)
+}
+
+func (s *Session) runConfig(app string, cfg dsm.Config, verify bool) (*dsm.Report, error) {
 	spec, err := apps.ByName(app)
 	if err != nil {
 		return nil, err
@@ -199,7 +216,7 @@ func (s *Session) RunConfig(app string, cfg dsm.Config) (*dsm.Report, error) {
 	defer func() { <-s.sem }()
 	start := time.Now()
 	sys := dsm.NewSystem(cfg)
-	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: s.Opt.Verify})
+	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: verify})
 	rep := sys.Run(inst.Run)
 	s.simCount.Add(1)
 	s.simWall.Add(int64(time.Since(start)))

@@ -25,6 +25,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"fig4":   "multithreading",
 		"table2": "AvgStall",
 		"fig5":   "best:",
+		"faults": "schedule totals:",
 	}
 	s := NewSession(Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR", "FFT"}})
 	for _, e := range Experiments {
@@ -93,6 +94,53 @@ func TestCrossWorkerDeterminism(t *testing.T) {
 	if runs, _ := par.SimStats(); runs != int64(len(par.Grid(AllVariants))) {
 		t.Errorf("parallel session simulated %d runs, want %d (no duplicates)",
 			runs, len(par.Grid(AllVariants)))
+	}
+}
+
+// TestFaultedCrossWorkerDeterminism extends the determinism claim to faulty
+// networks: with a fault plan set on the session, every app/variant report —
+// including the retransmission and duplicate-suppression counters — must be
+// byte-identical across worker counts, and a rerun with the same seed must
+// reproduce it again.
+func TestFaultedCrossWorkerDeterminism(t *testing.T) {
+	plan := dsm.FaultPlan{Seed: 77, Loss: 0.02, Dup: 0.01,
+		Reorder: 0.05, MaxJitter: dsm.Millisecond}
+	opt := Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR", "OCEAN"},
+		Verify: true, Faults: plan}
+	optSeq, optPar := opt, opt
+	optSeq.Workers = 1
+	optPar.Workers = 8
+	seq, par := NewSession(optSeq), NewSession(optPar)
+	grid := seq.Grid(FaultVariants)
+	if err := par.RunAll(par.Grid(FaultVariants)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.RunAll(grid); err != nil {
+		t.Fatal(err)
+	}
+	rerun := NewSession(optSeq)
+	if err := rerun.RunAll(grid); err != nil {
+		t.Fatal(err)
+	}
+	var exercised int64
+	for _, k := range grid {
+		a, _ := seq.Run(k.App, k.Variant)
+		b, _ := par.Run(k.App, k.Variant)
+		c, _ := rerun.Run(k.App, k.Variant)
+		fa, fb, fc := a.Fingerprint(), b.Fingerprint(), c.Fingerprint()
+		if fa != fb {
+			t.Errorf("%s/%s: faulted reports differ across worker counts:\nseq: %s\npar: %s",
+				k.App, k.Variant, fa, fb)
+		}
+		if fa != fc {
+			t.Errorf("%s/%s: same fault seed did not reproduce:\n1st: %s\n2nd: %s",
+				k.App, k.Variant, fa, fc)
+		}
+		n := a.Sum()
+		exercised += n.Retransmits + n.Timeouts + n.DupSuppressed + n.AcksSent
+	}
+	if exercised == 0 {
+		t.Error("fault plan never exercised the reliable transport")
 	}
 }
 

@@ -8,10 +8,19 @@
 // Unreliable messages (the paper's prefetch requests and replies) are
 // dropped deterministically when the queueing delay they would suffer
 // exceeds a configurable threshold, modelling congestion loss.
+//
+// A FaultPlan additionally injects faults into ANY message — including ones
+// marked reliable: probabilistic loss and duplication, bounded reordering
+// jitter, transient link brown-outs, and per-NIC stall windows. All
+// randomness comes from a per-network PRNG seeded by the plan, and the
+// simulation is single-threaded, so a given (workload, plan) pair replays
+// exactly. Recovering reliable messages lost to an active plan is the
+// protocol layer's job (see proto's ack/retransmit transport).
 package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"godsm/internal/sim"
 )
@@ -27,12 +36,79 @@ type Kind uint8
 const MaxKinds = 24
 
 // Message is one datagram on the simulated network.
+//
+// Seq and Ack are the transport header used by the protocol layer's
+// reliability machinery; netsim carries them opaquely. Seq is a 1-based
+// per-(src,dst) sequence number (0 = unsequenced datagram) and Ack is the
+// cumulative acknowledgement (all sequence numbers below Ack received;
+// 0 = no acknowledgement information).
 type Message struct {
 	Src, Dst NodeID
 	Size     int  // bytes on the wire, including headers
 	Reliable bool // unreliable messages may be dropped under congestion
 	Kind     Kind
+	Seq, Ack uint64
 	Payload  any
+}
+
+// LinkFault is one transient fault window on a node's full-duplex link,
+// active for virtual times in [From, To).
+type LinkFault struct {
+	Node     NodeID
+	From, To sim.Time
+}
+
+// FaultPlan describes deterministic fault injection. The zero plan injects
+// nothing; Active reports whether any fault is configured. All probability
+// draws come from one PRNG seeded with Seed, created per Network, so runs
+// replay exactly.
+type FaultPlan struct {
+	Seed int64
+
+	Loss float64 // per-message drop probability (reliable messages too)
+	Dup  float64 // per-message duplication probability
+
+	// Reorder is the probability a message is delayed by extra jitter drawn
+	// uniformly from (0, MaxJitter], letting later traffic overtake it.
+	// Ineffective when MaxJitter is zero.
+	Reorder   float64
+	MaxJitter sim.Time
+
+	// Brownouts drop every message whose link occupancy overlaps the window
+	// on the named node's link (either direction).
+	Brownouts []LinkFault
+
+	// Stalls model a wedged NIC: traffic that would occupy the named node's
+	// link during the window waits until the window ends.
+	Stalls []LinkFault
+}
+
+// Active reports whether the plan injects any fault.
+func (p *FaultPlan) Active() bool {
+	return p.Loss > 0 || p.Dup > 0 || (p.Reorder > 0 && p.MaxJitter > 0) ||
+		len(p.Brownouts) > 0 || len(p.Stalls) > 0
+}
+
+// stallEnd returns the end of the stall window covering time t on node id's
+// link, or t if none does.
+func (p *FaultPlan) stallEnd(id NodeID, t sim.Time) sim.Time {
+	for _, w := range p.Stalls {
+		if w.Node == id && t >= w.From && t < w.To {
+			t = w.To
+		}
+	}
+	return t
+}
+
+// brownedOut reports whether [from, to) overlaps a brown-out window on node
+// id's link.
+func (p *FaultPlan) brownedOut(id NodeID, from, to sim.Time) bool {
+	for _, w := range p.Brownouts {
+		if w.Node == id && from < w.To && to > w.From {
+			return true
+		}
+	}
+	return false
 }
 
 // Config holds the network's physical parameters. The defaults in
@@ -44,6 +120,10 @@ type Config struct {
 	// DropThreshold is the maximum total queueing delay an unreliable
 	// message may suffer before it is dropped. Zero disables dropping.
 	DropThreshold sim.Time
+
+	// Faults injects deterministic faults into all traffic (see FaultPlan).
+	// The zero plan leaves the network exactly as fault-free.
+	Faults FaultPlan
 }
 
 // DefaultConfig returns parameters approximating the paper's platform: a
@@ -61,11 +141,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// LinkStats counts traffic observed at one node.
+// LinkStats counts traffic observed at one node. Counters conserve:
+// MsgsRecv + Dropped == MsgsSent + Duplicated (and likewise for bytes),
+// summed over all nodes.
 type LinkStats struct {
 	MsgsSent, MsgsRecv   int64
 	BytesSent, BytesRecv int64
-	Dropped              int64 // unreliable messages lost to congestion
+	Dropped              int64 // messages lost (congestion + injected faults)
+	BytesDropped         int64
+	FaultDrops           int64 // subset of Dropped due to injected loss/brown-outs
+	Duplicated           int64 // extra copies created by fault injection
+	BytesDup             int64
 }
 
 type nic struct {
@@ -80,6 +166,7 @@ type Network struct {
 	cfg     Config
 	nics    []nic
 	deliver func(*Message)
+	rng     *rand.Rand // non-nil iff cfg.Faults.Active()
 
 	kindMsgs  [MaxKinds]int64
 	kindBytes [MaxKinds]int64
@@ -91,8 +178,15 @@ func New(k *sim.Kernel, n int, cfg Config, deliver func(*Message)) *Network {
 	if n <= 0 {
 		panic("netsim: need at least one node")
 	}
-	return &Network{k: k, cfg: cfg, nics: make([]nic, n), deliver: deliver}
+	net := &Network{k: k, cfg: cfg, nics: make([]nic, n), deliver: deliver}
+	if cfg.Faults.Active() {
+		net.rng = rand.New(rand.NewSource(cfg.Faults.Seed))
+	}
+	return net
 }
+
+// FaultsActive reports whether this network injects faults.
+func (n *Network) FaultsActive() bool { return n.rng != nil }
 
 // Nodes returns the number of nodes.
 func (n *Network) Nodes() int { return len(n.nics) }
@@ -110,6 +204,10 @@ func (n *Network) TotalStats() LinkStats {
 		t.BytesSent += s.BytesSent
 		t.BytesRecv += s.BytesRecv
 		t.Dropped += s.Dropped
+		t.BytesDropped += s.BytesDropped
+		t.FaultDrops += s.FaultDrops
+		t.Duplicated += s.Duplicated
+		t.BytesDup += s.BytesDup
 	}
 	return t
 }
@@ -147,9 +245,13 @@ func (n *Network) Send(m *Message) sim.Time {
 	}
 
 	ser := n.serialization(m.Size)
+	f := &n.cfg.Faults
 
-	// Sender-side link.
+	// Sender-side link. A stalled NIC holds traffic until its window ends.
 	outStart := max(now, src.outBusyUntil)
+	if n.rng != nil {
+		outStart = f.stallEnd(m.Src, outStart)
+	}
 	outEnd := outStart + ser
 
 	// Switch + propagation.
@@ -157,19 +259,62 @@ func (n *Network) Send(m *Message) sim.Time {
 
 	// Receiver-side link (store-and-forward from the switch).
 	inStart := max(atSwitchOut, dst.inBusyUntil)
+	if n.rng != nil {
+		inStart = f.stallEnd(m.Dst, inStart)
+	}
 	inEnd := inStart + ser
 	arrive := inEnd + n.cfg.PropDelay
 
 	queueing := (outStart - now) + (inStart - atSwitchOut)
 	if !m.Reliable && n.cfg.DropThreshold > 0 && queueing > n.cfg.DropThreshold {
 		src.stats.Dropped++
+		src.stats.BytesDropped += int64(m.Size)
 		return -1
+	}
+
+	if n.rng != nil {
+		// Brown-outs eat the frame while it occupies a faulted link.
+		if f.brownedOut(m.Src, outStart, outEnd) || f.brownedOut(m.Dst, inStart, inEnd) {
+			src.stats.Dropped++
+			src.stats.BytesDropped += int64(m.Size)
+			src.stats.FaultDrops++
+			return -1
+		}
+		// Probabilistic loss. The frame still occupied both links.
+		if f.Loss > 0 && n.rng.Float64() < f.Loss {
+			src.outBusyUntil = outEnd
+			dst.inBusyUntil = inEnd
+			src.stats.Dropped++
+			src.stats.BytesDropped += int64(m.Size)
+			src.stats.FaultDrops++
+			return -1
+		}
 	}
 
 	src.outBusyUntil = outEnd
 	dst.inBusyUntil = inEnd
 	dst.stats.MsgsRecv++
 	dst.stats.BytesRecv += int64(m.Size)
+
+	if n.rng != nil {
+		// Reordering: extra jitter lets later traffic overtake this frame.
+		if f.Reorder > 0 && f.MaxJitter > 0 && n.rng.Float64() < f.Reorder {
+			arrive += 1 + n.rng.Int63n(f.MaxJitter)
+		}
+		// Duplication: a second copy pops out of the switch a beat later.
+		if f.Dup > 0 && n.rng.Float64() < f.Dup {
+			dupAt := arrive + n.cfg.SwitchLatency
+			if f.Reorder > 0 && f.MaxJitter > 0 && n.rng.Float64() < f.Reorder {
+				dupAt += n.rng.Int63n(f.MaxJitter)
+			}
+			src.stats.Duplicated++
+			src.stats.BytesDup += int64(m.Size)
+			dst.stats.MsgsRecv++
+			dst.stats.BytesRecv += int64(m.Size)
+			n.k.At(dupAt, func() { n.deliver(m) })
+		}
+	}
+
 	n.k.At(arrive, func() { n.deliver(m) })
 	return arrive
 }

@@ -1,0 +1,75 @@
+package proto
+
+import (
+	"fmt"
+	"strings"
+
+	"godsm/internal/lrc"
+	"godsm/internal/pagemem"
+	"godsm/internal/sim"
+)
+
+// InvariantError is the panic value raised when a protocol invariant is
+// violated. It carries the failing node's identity and consistency state at
+// the moment of failure, and — once it unwinds through the simulation
+// kernel's run loop — the last few dispatched events (the kernel recognizes
+// it via sim.EventTraceAttacher), turning a chaos-test failure into an
+// actionable dump rather than a bare stack trace.
+type InvariantError struct {
+	Node int
+	Page int64 // page involved, or -1 when the failure is not page-related
+	VC   lrc.VC
+	Time sim.Time
+	Msg  string
+
+	// Events are the most recently dispatched kernel events, oldest first,
+	// attached by the kernel's run loop as the panic unwinds.
+	Events []sim.DispatchRecord
+}
+
+// Error renders the failure with its state and event-trace context.
+func (e *InvariantError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proto invariant violated: %s\n", e.Msg)
+	fmt.Fprintf(&b, "  node=%d time=%dns vc=%v", e.Node, e.Time, e.VC)
+	if e.Page >= 0 {
+		fmt.Fprintf(&b, " page=%d", e.Page)
+	}
+	if len(e.Events) > 0 {
+		fmt.Fprintf(&b, "\n  last %d dispatched events:", len(e.Events))
+		for _, ev := range e.Events {
+			fmt.Fprintf(&b, "\n    t=%-12d seq=%-8d %s", ev.At, ev.Seq, ev.Fn)
+		}
+	}
+	return b.String()
+}
+
+// AttachEventTrace implements sim.EventTraceAttacher.
+func (e *InvariantError) AttachEventTrace(evs []sim.DispatchRecord) {
+	if e.Events == nil {
+		e.Events = evs
+	}
+}
+
+// invariantf panics with a structured InvariantError for a failure that is
+// not tied to a particular page.
+func (n *Node) invariantf(format string, args ...any) {
+	panic(&InvariantError{
+		Node: n.ID,
+		Page: -1,
+		VC:   n.vc.Clone(),
+		Time: n.K.Now(),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// pageInvariantf is invariantf with the involved page recorded.
+func (n *Node) pageInvariantf(p pagemem.PageID, format string, args ...any) {
+	panic(&InvariantError{
+		Node: n.ID,
+		Page: int64(p),
+		VC:   n.vc.Clone(),
+		Time: n.K.Now(),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}

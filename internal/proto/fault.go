@@ -1,8 +1,6 @@
 package proto
 
 import (
-	"fmt"
-
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
@@ -16,7 +14,7 @@ import (
 // with the page invalid.
 func (n *Node) Fault(p pagemem.PageID, onValid func()) {
 	if n.PageValid(p) {
-		panic(fmt.Sprintf("proto: Fault on valid page %d", p))
+		n.pageInvariantf(p, "Fault on valid page %d", p)
 	}
 	if f, ok := n.fetches[p]; ok {
 		f.waiters = append(f.waiters, onValid)
@@ -121,7 +119,7 @@ func (n *Node) handleDiffReq(req *msgDiffReq) {
 	items := make([]diffItem, 0, len(req.Wants))
 	for _, id := range req.Wants {
 		if id.Node != n.ID {
-			panic(fmt.Sprintf("proto: node %d asked for diff created by node %d", n.ID, id.Node))
+			n.pageInvariantf(req.Page, "node %d asked for diff created by node %d", n.ID, id.Node)
 		}
 		if ps.hasUndiffed && ps.undiffed == id {
 			cost += n.makeOwnDiff(req.Page)
@@ -133,7 +131,7 @@ func (n *Node) handleDiffReq(req *msgDiffReq) {
 		}
 		d, ok := n.storedDiff(id, req.Page)
 		if !ok {
-			panic(fmt.Sprintf("proto: node %d has no diff for %v page %d", n.ID, id, req.Page))
+			n.pageInvariantf(req.Page, "node %d has no diff for %v page %d", n.ID, id, req.Page)
 		}
 		items = append(items, diffItem{ID: id, Diff: d})
 	}
@@ -159,7 +157,9 @@ func (n *Node) handleDiffReply(rep *msgDiffReply) {
 	for _, it := range rep.Items {
 		n.putDiff(it.ID, rep.Page, it.Diff, rep.Prefetch)
 	}
-	if pfst, ok := n.pf[rep.Page]; ok && rep.Prefetch {
+	if pfst, ok := n.pf[rep.Page]; ok && rep.Prefetch && pfst.inflight > 0 {
+		// Clamped: a fault-injected duplicate reply must not drive the
+		// outstanding-request count negative.
 		pfst.inflight--
 	}
 

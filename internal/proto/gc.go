@@ -1,7 +1,6 @@
 package proto
 
 import (
-	"fmt"
 	"sort"
 
 	"godsm/internal/lrc"
@@ -88,10 +87,10 @@ func (n *Node) gcFlush() {
 	// every outstanding own diff (each notice was pending somewhere).
 	for p, ps := range n.pages {
 		if len(ps.pending) != 0 {
-			panic(fmt.Sprintf("proto: gcFlush with pending diffs on page %d", p))
+			n.pageInvariantf(p, "gcFlush with pending diffs on page %d", p)
 		}
 		if n.N > 1 && ps.hasUndiffed {
-			panic(fmt.Sprintf("proto: gcFlush with undiffed notice on page %d", p))
+			n.pageInvariantf(p, "gcFlush with undiffed notice on page %d", p)
 		}
 	}
 	n.St.GCRuns++
@@ -142,7 +141,7 @@ func (n *Node) handleGCFlush() {
 	cb := n.gcResume
 	n.gcResume = nil
 	if cb == nil {
-		panic("proto: GC flush without a pending barrier release")
+		n.invariantf("GC flush without a pending barrier release")
 	}
 	done := n.CPU.Service(n.C.IntervalOp, sim.CatDSM)
 	n.K.At(done, cb)

@@ -22,6 +22,7 @@ const (
 	KindLockReturn
 	KindLockRetry
 	KindEagerNotice
+	KindAck // pure transport acknowledgment (no protocol payload)
 	numKinds
 )
 
@@ -56,6 +57,8 @@ func KindName(k netsim.Kind) string {
 		return "lock-retry"
 	case KindEagerNotice:
 		return "eager-notice"
+	case KindAck:
+		return "xp-ack"
 	default:
 		return "?"
 	}

@@ -11,7 +11,6 @@
 package proto
 
 import (
-	"fmt"
 	"sort"
 
 	"godsm/internal/lrc"
@@ -109,6 +108,10 @@ type Node struct {
 	// ahead of synchronization; the consistency metadata still flows
 	// through the synchronization messages.
 	EagerRC bool
+
+	// Reliable transport state, one peer per remote node; nil until
+	// EnableTransport (transport.go). Nil means fiat delivery.
+	xp []*xpPeer
 }
 
 // pageState tracks one page's coherence state at this node.
@@ -201,7 +204,7 @@ func (n *Node) Frame(p pagemem.PageID) []byte { return n.Store.Frame(p) }
 func (n *Node) EnsureWritable(p pagemem.PageID) {
 	ps := n.page(p)
 	if len(ps.pending) != 0 {
-		panic(fmt.Sprintf("proto: EnsureWritable on invalid page %d (node %d)", p, n.ID))
+		n.pageInvariantf(p, "EnsureWritable on invalid page %d (node %d)", p, n.ID)
 	}
 	if ps.twinned {
 		return
@@ -241,7 +244,7 @@ func (n *Node) closeInterval() *lrc.Interval {
 	for _, p := range pages {
 		ps := n.page(p)
 		if ps.hasUndiffed {
-			panic(fmt.Sprintf("proto: page %d already has an undiffed notice", p))
+			n.pageInvariantf(p, "page %d already has an undiffed notice", p)
 		}
 		ps.undiffed = iv.ID
 		ps.hasUndiffed = true
@@ -389,13 +392,13 @@ func (n *Node) checkContiguity() {
 			continue
 		}
 		if int32(len(n.ivs[q])) < n.vc[q] {
-			panic(fmt.Sprintf("proto: node %d VC[%d]=%d but only %d records",
-				n.ID, q, n.vc[q], len(n.ivs[q])))
+			n.invariantf("node %d VC[%d]=%d but only %d records",
+				n.ID, q, n.vc[q], len(n.ivs[q]))
 		}
 		for s := n.gcBase[q]; s < n.vc[q]; s++ {
 			if n.ivs[q][s] == nil {
-				panic(fmt.Sprintf("proto: node %d missing record (%d,%d) under VC %v",
-					n.ID, q, s+1, n.vc))
+				n.invariantf("node %d missing record (%d,%d) under VC %v",
+					n.ID, q, s+1, n.vc)
 			}
 		}
 	}
@@ -413,7 +416,7 @@ func (n *Node) missingIvs(v lrc.VC, exclude int) []*lrc.Interval {
 		for s := v[q]; s < n.vc[q]; s++ {
 			iv := n.ivs[q][s]
 			if iv == nil {
-				panic("proto: missingIvs hit a gap")
+				n.invariantf("missingIvs hit a gap at (%d,%d)", q, s+1)
 			}
 			out = append(out, iv)
 		}
@@ -477,7 +480,7 @@ func (n *Node) makeOwnDiff(p pagemem.PageID) sim.Time {
 	// undiffed notice always exists.
 	if !ps.hasUndiffed {
 		if iv := n.closeInterval(); iv == nil || !ps.hasUndiffed {
-			panic("proto: dirty page without a notice after interval close")
+			n.pageInvariantf(p, "dirty page %d without a notice after interval close", p)
 		}
 	}
 	id := ps.undiffed
@@ -512,7 +515,7 @@ func (n *Node) applyPending(p pagemem.PageID) sim.Time {
 	for _, id := range ps.pending {
 		iv := n.ivs[id.Node][id.Seq-1]
 		if iv == nil {
-			panic("proto: pending interval without record")
+			n.pageInvariantf(p, "pending interval %v on page %d without record", id, p)
 		}
 		ivs = append(ivs, iv)
 	}
@@ -522,8 +525,8 @@ func (n *Node) applyPending(p pagemem.PageID) sim.Time {
 	for _, iv := range ivs {
 		d, ok := n.storedDiff(iv.ID, p)
 		if !ok {
-			panic(fmt.Sprintf("proto: node %d applying page %d without diff for %v",
-				n.ID, p, iv.ID))
+			n.pageInvariantf(p, "node %d applying page %d without diff for %v",
+				n.ID, p, iv.ID)
 		}
 		if d != nil && len(d.Runs) > 0 {
 			if Trace != nil {
@@ -553,15 +556,26 @@ func (n *Node) missingDiffs(p pagemem.PageID) []lrc.IntervalID {
 	return out
 }
 
-// Deliver dispatches an arriving network message. It charges receive-side
-// CPU costs (plus the async-signal surcharge under multithreading) and then
-// runs the handler.
+// Deliver receives an arriving network message. It charges receive-side
+// CPU costs (plus the async-signal surcharge under multithreading), filters
+// the message through the reliable transport when one is enabled (ack
+// processing, duplicate suppression, reordering repair), and dispatches
+// whatever becomes deliverable.
 func (n *Node) Deliver(m *netsim.Message) {
 	recv := n.C.MsgRecv
 	if n.mt {
 		recv += n.C.MTSig
 	}
 	n.CPU.Service(recv, sim.CatDSM)
+	if n.xp != nil {
+		n.xpReceive(m)
+		return
+	}
+	n.dispatch(m)
+}
+
+// dispatch runs the protocol handler for one in-order message.
+func (n *Node) dispatch(m *netsim.Message) {
 	switch pl := m.Payload.(type) {
 	case *msgDiffReq:
 		n.handleDiffReq(pl)
@@ -593,14 +607,15 @@ func (n *Node) Deliver(m *netsim.Message) {
 	case *msgGCFlush:
 		n.handleGCFlush()
 	default:
-		panic(fmt.Sprintf("proto: unknown message payload %T", m.Payload))
+		n.invariantf("node %d: unknown message payload %T (kind %s)", n.ID, m.Payload, KindName(m.Kind))
 	}
 }
 
 // sendAfter schedules m to be transmitted once the sending CPU work
-// completes at time t.
+// completes at time t. Transmission goes through the transport choke point
+// (a plain network send when no transport is enabled).
 func (n *Node) sendAfter(t sim.Time, m *netsim.Message) {
-	n.K.At(t, func() { n.Send(m) })
+	n.K.At(t, func() { n.xmit(m) })
 }
 
 // Trace, when non-nil, receives a line for every protocol event at this

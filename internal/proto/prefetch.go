@@ -80,7 +80,7 @@ func (n *Node) Prefetch(p pagemem.PageID) int {
 		m := m
 		n.K.At(done, func() {
 			if n.Send(m) < 0 {
-				n.St.PfDropped++
+				n.St.PfReqDropped++
 			}
 		})
 	}

@@ -1,8 +1,6 @@
 package proto
 
 import (
-	"fmt"
-
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
@@ -59,10 +57,10 @@ func (n *Node) lockManager(id int) int { return id % n.N }
 func (n *Node) AcquireLock(id int, onGranted func()) (immediate bool) {
 	ls := n.lock(id)
 	if ls.held {
-		panic(fmt.Sprintf("proto: node %d re-acquiring held lock %d (combine locally first)", n.ID, id))
+		n.invariantf("node %d re-acquiring held lock %d (combine locally first)", n.ID, id)
 	}
 	if ls.waiting != nil {
-		panic(fmt.Sprintf("proto: node %d has concurrent remote acquires of lock %d", n.ID, id))
+		n.invariantf("node %d has concurrent remote acquires of lock %d", n.ID, id)
 	}
 	if ls.owned && !n.NoTokenCache {
 		ls.held = true
@@ -103,7 +101,7 @@ func (n *Node) handleLockAcqAtManager(req *msgLockAcq) {
 	if prev == req.Requester && !n.NoTokenCache {
 		// With token caching the last requester re-acquires locally and
 		// never contacts the manager; reaching here is a protocol bug.
-		panic(fmt.Sprintf("proto: lock %d requester %d already owns the token", req.Lock, req.Requester))
+		n.invariantf("lock %d requester %d already owns the token", req.Lock, req.Requester)
 	}
 	if prev == n.ID {
 		n.handleLockForward(req)
@@ -125,7 +123,7 @@ func (n *Node) handleLockForward(req *msgLockAcq) {
 	ls := n.lock(req.Lock)
 	n.trace("lockFwd lock=%d req=%d owned=%v held=%v waiting=%v pfwd=%v", req.Lock, req.Requester, ls.owned, ls.held, ls.waiting != nil, ls.pendingFwd != nil)
 	if ls.pendingFwd != nil {
-		panic(fmt.Sprintf("proto: lock %d already has a pending successor", req.Lock))
+		n.invariantf("lock %d already has a pending successor", req.Lock)
 	}
 	if ls.owned && !ls.held {
 		// Token here and free: grant even if we are ourselves re-queued
@@ -135,7 +133,7 @@ func (n *Node) handleLockForward(req *msgLockAcq) {
 	}
 	if ls.held {
 		if n.NoTokenCache && req.PrevSeq != ls.mySeq {
-			panic(fmt.Sprintf("proto: lock %d forward for stale tenure while held", req.Lock))
+			n.invariantf("lock %d forward for stale tenure while held", req.Lock)
 		}
 		ls.pendingFwd = req
 		return
@@ -146,7 +144,7 @@ func (n *Node) handleLockForward(req *msgLockAcq) {
 		return
 	}
 	if !n.NoTokenCache {
-		panic(fmt.Sprintf("proto: node %d forwarded lock %d it does not own", n.ID, req.Lock))
+		n.invariantf("node %d forwarded lock %d it does not own", n.ID, req.Lock)
 	}
 	// The token is on its way back to the manager: redirect the request.
 	mgr := n.lockManager(req.Lock)
@@ -168,7 +166,7 @@ func (n *Node) handleLockRetry(req *msgLockAcq) {
 		return
 	}
 	if ls.retryQ != nil {
-		panic(fmt.Sprintf("proto: lock %d has two redirected requests", req.Lock))
+		n.invariantf("lock %d has two redirected requests", req.Lock)
 	}
 	ls.retryQ = req
 }
@@ -226,7 +224,7 @@ func (n *Node) grantLock(req *msgLockAcq) {
 func (n *Node) handleLockGrant(g *msgLockGrant) {
 	ls := n.lock(g.Lock)
 	if ls.waiting == nil {
-		panic(fmt.Sprintf("proto: node %d got unexpected grant of lock %d", n.ID, g.Lock))
+		n.invariantf("node %d got unexpected grant of lock %d", n.ID, g.Lock)
 	}
 	n.trace("lockGrant lock=%d vc=%v ivs=%d", g.Lock, g.VC, len(g.Ivs))
 	cost := n.intake(g.Ivs, g.VC)
@@ -249,7 +247,7 @@ func (n *Node) handleLockGrant(g *msgLockGrant) {
 func (n *Node) ReleaseLock(id int) {
 	ls := n.lock(id)
 	if !ls.held {
-		panic(fmt.Sprintf("proto: node %d releasing lock %d it does not hold", n.ID, id))
+		n.invariantf("node %d releasing lock %d it does not hold", n.ID, id)
 	}
 	n.closeInterval()
 	ls.held = false
@@ -325,7 +323,7 @@ func (n *Node) barArrive(a *msgBarArrive) {
 		b.arrivalVCs = make([]lrc.VC, n.N)
 	}
 	if b.arrivalVCs[a.From] != nil {
-		panic(fmt.Sprintf("proto: duplicate barrier arrival from %d", a.From))
+		n.invariantf("duplicate barrier arrival from %d", a.From)
 	}
 	b.arrivalVCs[a.From] = a.VC.Clone()
 	n.trace("barArrive from=%d diffBytes=%d thr=%d", a.From, a.DiffBytes, n.GCThreshold)

@@ -12,6 +12,8 @@ package sim
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 )
 
 // Time is virtual time in nanoseconds since the start of the simulation.
@@ -29,6 +31,10 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	// dead, when non-nil and set, marks a cancelled event: the run loop
+	// skips it without executing fn or advancing the clock. Only Timer
+	// uses this; plain At events leave it nil.
+	dead *bool
 }
 
 // eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
@@ -87,6 +93,26 @@ func (h *eventHeap) popEvent() event {
 	return top
 }
 
+// dispatchRing is the number of recently dispatched events the kernel
+// remembers for failure dumps (see RecentDispatches). Power of two.
+const dispatchRing = 32
+
+// DispatchRecord describes one dispatched event, for post-mortem dumps: the
+// virtual time and sequence number of the event and the name of the function
+// it ran. Function names are resolved lazily, only when a dump is built.
+type DispatchRecord struct {
+	At  Time
+	Seq uint64
+	Fn  string
+}
+
+// EventTraceAttacher is implemented by panic values (such as the protocol
+// layer's invariant errors) that want the kernel's recent dispatch history
+// attached when they unwind through the run loop.
+type EventTraceAttacher interface {
+	AttachEventTrace([]DispatchRecord)
+}
+
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewKernel.
 type Kernel struct {
@@ -98,6 +124,9 @@ type Kernel struct {
 	running bool
 	stopped bool
 	limit   Time // if > 0, Run stops once the clock would pass this
+
+	ring  [dispatchRing]event // most recently dispatched events
+	ringN uint64              // total events dispatched
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -128,6 +157,61 @@ func (k *Kernel) At(t Time, fn func()) {
 // After schedules fn to run d nanoseconds from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
 
+// atCancelable schedules fn with a cancellation flag: if *dead is true when
+// the event reaches the head of the queue, the run loop discards it without
+// executing fn or advancing the clock.
+func (k *Kernel) atCancelable(t Time, fn func(), dead *bool) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d ns, before now (%d ns)", t, k.now))
+	}
+	k.seq++
+	k.events.pushEvent(event{at: t, seq: k.seq, fn: fn, dead: dead})
+}
+
+// Timer is a cancelable, reschedulable one-shot virtual-time timer, used by
+// protocol machinery that needs to take back a scheduled action (retransmit
+// timeouts, delayed acks). Arm schedules the callback; re-arming or stopping
+// cancels any pending firing. Cancelled firings are skipped by the run loop
+// without advancing the virtual clock, so stale timers never stretch a
+// simulation. A Timer is owned by its kernel's event loop and must only be
+// manipulated from kernel context.
+type Timer struct {
+	k    *Kernel
+	fn   func()
+	dead *bool // cancellation flag of the pending firing; nil when idle
+	at   Time
+}
+
+// NewTimer creates an idle timer that runs fn when it fires.
+func (k *Kernel) NewTimer(fn func()) *Timer { return &Timer{k: k, fn: fn} }
+
+// Arm schedules the timer to fire d nanoseconds from now, replacing any
+// pending firing.
+func (t *Timer) Arm(d Time) {
+	t.Stop()
+	dead := new(bool)
+	t.dead = dead
+	t.at = t.k.now + d
+	t.k.atCancelable(t.at, func() {
+		t.dead = nil
+		t.fn()
+	}, dead)
+}
+
+// Stop cancels the pending firing, if any.
+func (t *Timer) Stop() {
+	if t.dead != nil {
+		*t.dead = true
+		t.dead = nil
+	}
+}
+
+// Active reports whether a firing is pending.
+func (t *Timer) Active() bool { return t.dead != nil }
+
+// When returns the virtual time of the pending firing (valid while Active).
+func (t *Timer) When() Time { return t.at }
+
 // SetLimit makes Run stop (without error) before executing any event whose
 // time exceeds t. Zero means no limit.
 func (k *Kernel) SetLimit(t Time) { k.limit = t }
@@ -135,22 +219,61 @@ func (k *Kernel) SetLimit(t Time) { k.limit = t }
 // Run executes events until the queue is empty (or the limit is reached),
 // then shuts down any process goroutines that are still parked. It returns
 // the final virtual time.
+//
+// If an event panics with a value implementing EventTraceAttacher, Run
+// attaches the last few dispatched events to it before re-raising, turning
+// protocol invariant failures into actionable dumps.
 func (k *Kernel) Run() Time {
 	if k.running {
 		panic("sim: Kernel.Run called reentrantly")
 	}
 	k.running = true
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(EventTraceAttacher); ok {
+				a.AttachEventTrace(k.RecentDispatches())
+			}
+			panic(r)
+		}
+	}()
 	for len(k.events) > 0 {
 		if k.limit > 0 && k.events.peek().at > k.limit {
 			break
 		}
 		e := k.events.popEvent()
+		if e.dead != nil && *e.dead {
+			continue // cancelled timer firing: no clock advance
+		}
 		k.now = e.at
+		k.ring[k.ringN&(dispatchRing-1)] = e
+		k.ringN++
 		e.fn()
 	}
 	k.running = false
 	k.shutdown()
 	return k.now
+}
+
+// RecentDispatches returns the last dispatched events, oldest first, with
+// the name of each event's function resolved for readability.
+func (k *Kernel) RecentDispatches() []DispatchRecord {
+	n := k.ringN
+	count := uint64(dispatchRing)
+	if n < count {
+		count = n
+	}
+	out := make([]DispatchRecord, 0, count)
+	for i := n - count; i < n; i++ {
+		e := k.ring[i&(dispatchRing-1)]
+		name := "?"
+		if e.fn != nil {
+			if f := runtime.FuncForPC(reflect.ValueOf(e.fn).Pointer()); f != nil {
+				name = f.Name()
+			}
+		}
+		out = append(out, DispatchRecord{At: e.at, Seq: e.seq, Fn: name})
+	}
+	return out
 }
 
 // shutdown unwinds every still-parked process goroutine so that a finished

@@ -31,10 +31,11 @@ type Node struct {
 	BarrierStall   sim.Time
 
 	// Prefetching.
-	PfCalls       int64 // Prefetch() invocations
-	PfUnnecessary int64 // dropped: page valid or fetch already in flight
-	PfMsgs        int64 // prefetch request messages actually sent
-	PfDropped     int64 // prefetch messages lost in the network
+	PfCalls        int64 // Prefetch() invocations
+	PfUnnecessary  int64 // dropped: page valid or fetch already in flight
+	PfMsgs         int64 // prefetch request messages actually sent
+	PfReqDropped   int64 // prefetch requests lost in the network
+	PfReplyDropped int64 // prefetch replies lost in the network (counted at the server)
 
 	// Outcome of each fault in a prefetching run (Figure 3 categories).
 	FaultNoPf        int64 // page was never prefetched
@@ -56,6 +57,13 @@ type Node struct {
 	DiffsMade    int64
 	DiffsApplied int64
 	TwinsMade    int64
+
+	// Reliable transport (only nonzero when a fault plan activates it).
+	Retransmits   int64    // frames re-sent after a timeout
+	Timeouts      int64    // retransmission timer firings
+	AcksSent      int64    // pure (non-piggybacked) acknowledgments sent
+	DupSuppressed int64    // sequenced frames discarded as duplicates
+	MaxBackoff    sim.Time // largest retransmission timeout reached
 }
 
 // StallEvents returns the number of stall events (memory + sync).
@@ -130,7 +138,8 @@ func (r *Report) Sum() Node {
 		t.PfCalls += n.PfCalls
 		t.PfUnnecessary += n.PfUnnecessary
 		t.PfMsgs += n.PfMsgs
-		t.PfDropped += n.PfDropped
+		t.PfReqDropped += n.PfReqDropped
+		t.PfReplyDropped += n.PfReplyDropped
 		t.FaultNoPf += n.FaultNoPf
 		t.FaultPfHit += n.FaultPfHit
 		t.FaultPfLate += n.FaultPfLate
@@ -144,6 +153,13 @@ func (r *Report) Sum() Node {
 		t.DiffsMade += n.DiffsMade
 		t.DiffsApplied += n.DiffsApplied
 		t.TwinsMade += n.TwinsMade
+		t.Retransmits += n.Retransmits
+		t.Timeouts += n.Timeouts
+		t.AcksSent += n.AcksSent
+		t.DupSuppressed += n.DupSuppressed
+		if n.MaxBackoff > t.MaxBackoff {
+			t.MaxBackoff = n.MaxBackoff // max, not sum: it is a high-water mark
+		}
 	}
 	return t
 }
