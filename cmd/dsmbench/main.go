@@ -94,7 +94,7 @@ func main() {
 		selected = []harness.Experiment{e}
 	}
 
-	start := time.Now()
+	start := harness.Wallclock()
 	// Schedule the full cached-run grid before any rendering starts, so
 	// the worker pool is busy end to end; experiments then render
 	// concurrently into buffers and print in paper order.
@@ -114,9 +114,9 @@ func main() {
 		go func(i int, e harness.Experiment) {
 			defer wg.Done()
 			r := results[i]
-			t0 := time.Now()
+			t0 := harness.Wallclock()
 			r.err = e.Run(session, &r.out)
-			r.wall = time.Since(t0)
+			r.wall = harness.Wallclock().Sub(t0)
 			close(r.done)
 		}(i, e)
 	}
@@ -136,7 +136,7 @@ func main() {
 		times = append(times, experimentTimes{ID: e.ID, WallS: r.wall.Seconds()})
 	}
 	wg.Wait()
-	total := time.Since(start)
+	total := harness.Wallclock().Sub(start)
 
 	simRuns, simWall := session.SimStats()
 	speedup := 0.0
@@ -148,7 +148,7 @@ func main() {
 
 	if *jsonPath != "" {
 		res := benchResult{
-			Date:        time.Now().UTC().Format(time.RFC3339),
+			Date:        harness.Wallclock().UTC().Format(time.RFC3339),
 			Scale:       *scale,
 			Procs:       *procs,
 			Workers:     session.Workers(),

@@ -1,0 +1,76 @@
+// Command dsmvet is the repo's determinism-and-protocol-invariant checker:
+// a multichecker over the five analyzers in internal/analysis, in the
+// spirit of golang.org/x/tools/go/analysis/multichecker but built on the
+// in-tree framework so it needs no module downloads.
+//
+// Usage:
+//
+//	go run ./cmd/dsmvet ./...
+//	go run ./cmd/dsmvet ./internal/proto
+//
+// It prints one line per finding and exits 1 when there are any. Suppress
+// an audited exception with a trailing or preceding comment:
+//
+//	start := time.Now() //dsmvet:allow walltime — report timing only
+//
+// Test files (_test.go) are not swept: the invariants bind simulation
+// code; tests may use wall clocks and ad-hoc randomness freely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godsm/internal/analysis/framework"
+	"godsm/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dsmvet [-list] <packages>   (e.g. dsmvet ./...)\n\nAnalyzers:\n")
+		printAnalyzers(os.Stderr)
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := framework.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := suite.Check(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w *os.File) {
+	for _, u := range suite.Units() {
+		fmt.Fprintf(w, "  %-15s %s\n", u.Analyzer.Name, u.Analyzer.Doc)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmvet:", err)
+	os.Exit(2)
+}

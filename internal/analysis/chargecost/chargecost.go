@@ -1,0 +1,53 @@
+// Package chargecost keeps every message a protocol node emits paid for.
+// The cost model's per-message send charge (Costs.MsgSend and friends) is
+// applied at the send site by the charging helpers in proto/costs.go —
+// sendAfter for sequenced traffic, sendUnreliable for prefetch-class
+// datagrams — which route through the transport choke point. A direct call
+// to the raw network hook (Node.Send) or the transport entry (Node.xmit)
+// skips the charge: the message leaves the node for free and the
+// busy/overhead breakdowns drift from the wire traffic.
+//
+// The helpers themselves, and the transport's retransmission paths (which
+// charge MsgSend before re-sending), are the audited exceptions and carry
+// `//dsmvet:allow chargecost` annotations.
+package chargecost
+
+import (
+	"go/ast"
+
+	"godsm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "chargecost",
+	Doc: "flag direct Node.Send/Node.xmit calls that bypass the costs.go charging " +
+		"helpers (sendAfter/sendUnreliable); no message leaves a node for free",
+	Run: run,
+}
+
+// raw names the Node members that transmit without charging CPU cost.
+var raw = map[string]bool{"Send": true, "xmit": true}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !raw[sel.Sel.Name] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || framework.NamedTypeName(tv.Type) != "Node" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct Node.%s bypasses the costs.go charging helpers; use sendAfter/sendUnreliable so the send cost is charged",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

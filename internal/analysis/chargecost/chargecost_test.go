@@ -1,0 +1,12 @@
+package chargecost_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/chargecost"
+	"godsm/internal/analysis/framework/analysistest"
+)
+
+func TestChargecost(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), chargecost.Analyzer, "chargecost")
+}

@@ -1,0 +1,40 @@
+// Fixture for the chargecost analyzer, shaped like proto.Node: Send is the
+// raw injected network hook, xmit the transport entry, sendAfter the
+// charging helper. Direct raw calls are flagged; the helper's own call is
+// the annotated choke point.
+package chargecost
+
+type Message struct{ Src, Dst int }
+
+type Time int64
+
+type Node struct {
+	// Send transmits on the simulated network; injected by wiring.
+	Send func(*Message) Time
+}
+
+func (n *Node) xmit(m *Message) {}
+
+// sendAfter is the charging helper: its xmit call is the audited choke
+// point.
+func (n *Node) sendAfter(t Time, m *Message) {
+	n.xmit(m) //dsmvet:allow chargecost — choke point under test
+}
+
+func bad(n *Node, m *Message) {
+	n.Send(m) // want `direct Node\.Send bypasses the costs\.go charging helpers`
+	n.xmit(m) // want `direct Node\.xmit bypasses the costs\.go charging helpers`
+}
+
+func good(n *Node, m *Message) {
+	n.sendAfter(0, m)
+}
+
+// otherSend is a different type's Send: out of scope.
+type courier struct{}
+
+func (courier) Send(m *Message) Time { return 0 }
+
+func unrelated(c courier, m *Message) {
+	c.Send(m)
+}

@@ -1,0 +1,177 @@
+// Package analysistest runs a framework.Analyzer over fixture packages and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// fixtures would work unchanged under the real driver.
+//
+// A fixture line carries one or more expectations as quoted regular
+// expressions:
+//
+//	rand.Intn(4) // want `package-level math/rand`
+//	time.Now()   // want "wall clock" "second finding on the same line"
+//
+// Every reported diagnostic must match an expectation on its line, and
+// every expectation must be matched — unmatched items in either direction
+// fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"godsm/internal/analysis/framework"
+)
+
+// TestData returns the test's testdata directory. Go runs tests with the
+// package directory as the working directory.
+func TestData() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(dir, "testdata")
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies the
+// analyzer, and checks diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		if err := runDir(t, a, dir, pkg); err != nil {
+			t.Errorf("%s: %v", pkg, err)
+		}
+	}
+}
+
+func runDir(t *testing.T, a *framework.Analyzer, dir, pkgPath string) error {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Fixtures import only the standard library; the source importer
+	// resolves it from GOROOT without prebuilt export data.
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking fixture: %w", err)
+	}
+
+	diags, err := framework.Run(a, &framework.Package{
+		Path: pkgPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info,
+	})
+	if err != nil {
+		return err
+	}
+
+	wants := collectWants(fset, files)
+	for _, d := range diags {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		if !matchWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgPath, d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", pkgPath, key.file, key.line, w.re.String())
+			}
+		}
+	}
+	return nil
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe pulls the expectation list out of a `// want` comment; quoted or
+// backquoted regexps follow.
+var (
+	wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+	exprRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+func collectWants(fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	wants := make(map[posKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range exprRe.FindAllString(m[1], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						pat = strings.ReplaceAll(q[1:len(q)-1], `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						panic(fmt.Sprintf("%s: bad want pattern %q: %v", pos, pat, err))
+					}
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

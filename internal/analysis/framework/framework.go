@@ -1,0 +1,188 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that dsmvet's analyzers are written
+// against. The container this repo builds in has no module proxy access, so
+// rather than vendoring x/tools we keep the same Analyzer/Pass shape on top
+// of the standard library (go/ast, go/parser, go/types) — analyzers written
+// here port to the real framework by swapping one import.
+//
+// Beyond the x/tools shape, the framework adds the one policy mechanism all
+// dsmvet analyzers share: `//dsmvet:allow <name>[,<name>...] — reason`
+// comments. A diagnostic is suppressed when an allow comment naming its
+// analyzer sits on the same line or on the line directly above. Allow
+// comments are deliberately loud in review diffs: they are the audited
+// escape hatches that turn "convention" into "checked invariant with an
+// explicit exception list".
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dsmvet:allow comments.
+	Name string
+	// Doc is the one-paragraph description printed by `dsmvet -help`.
+	Doc string
+	// Run applies the analyzer to one package and reports findings
+	// through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every non-suppressed diagnostic.
+	report func(Diagnostic)
+	// allow maps file name -> line -> analyzer names allowed on that line.
+	allow map[string]map[int]map[string]bool
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// allowRe matches the directive comment. The directive must start the
+// comment; everything after the name list (dash, em-dash, or ":") is a
+// human-audience justification and is ignored here.
+var allowRe = regexp.MustCompile(`^//\s*dsmvet:allow\s+([A-Za-z0-9_,\s]+)`)
+
+// buildAllowIndex scans a file's comments for //dsmvet:allow directives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	idx := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Allowed reports whether a diagnostic from this pass's analyzer at pos is
+// suppressed by an allow comment on the same line or the line above.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	lines := p.allow[position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if names := lines[line]; names[p.Analyzer.Name] || names["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf reports a finding unless an allow comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+		allow:     buildAllowIndex(pkg.Fset, pkg.Files),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// PkgNameOf resolves the package an identifier refers to when it names an
+// import (e.g. the `time` in `time.Now`), or "" when it does not.
+func PkgNameOf(info *types.Info, id *ast.Ident) string {
+	if obj, ok := info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// NamedTypeName returns the name of t's core named type, dereferencing one
+// level of pointer, or "" when t has no name (builtin, composite, nil).
+func NamedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,61 @@
+// Package globalrand forbids the process-global math/rand source in
+// simulation code. The global source is shared mutable state: it is seeded
+// once per process, drained in goroutine-interleaving order by the parallel
+// experiment runner, and therefore nondeterministic across runs. Simulation
+// code must thread a seeded *rand.Rand from configuration (the
+// netsim.FaultPlan pattern: rand.New(rand.NewSource(cfg.Seed))).
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"godsm/internal/analysis/framework"
+)
+
+// constructors are the math/rand names that build an explicitly seeded
+// generator rather than touching the global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand functions (the global source) in simulation " +
+		"code; randomness must come from a seeded *rand.Rand plumbed from config",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || constructors[sel.Sel.Name] {
+				return true
+			}
+			pkg := framework.PkgNameOf(pass.TypesInfo, id)
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			// Only function references touch the global source; type and
+			// constant references (*rand.Rand fields, rand.Source) are the
+			// seeded pattern's own vocabulary.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s uses the process-global source; plumb a seeded *rand.Rand from config (FaultPlan pattern)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/framework/analysistest"
+	"godsm/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), globalrand.Analyzer, "globalrand")
+}

@@ -1,0 +1,26 @@
+// Fixture for the globalrand analyzer: package-level math/rand draws on
+// the process-global source and is flagged; explicitly seeded generators —
+// the FaultPlan pattern — and the *rand.Rand vocabulary are not.
+package globalrand
+
+import "math/rand"
+
+var atInit = rand.Int() // want `rand\.Int uses the process-global source`
+
+func bad(n int) int {
+	_ = rand.Float64()                 // want `rand\.Float64 uses the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle uses the process-global source`
+	return rand.Intn(n)                // want `rand\.Intn uses the process-global source`
+}
+
+// seeded is the blessed pattern: a generator constructed from a seed that
+// configuration plumbed in.
+func seeded(seed int64) *rand.Rand {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10)
+	return rng
+}
+
+func sanctioned() int {
+	return rand.Int() //dsmvet:allow globalrand — fixture's escape hatch
+}

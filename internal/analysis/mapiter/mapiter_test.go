@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/framework/analysistest"
+	"godsm/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapiter.Analyzer, "mapiter")
+}

@@ -1,0 +1,49 @@
+// Package panicinvariant forbids bare panics in the protocol engine. A
+// protocol invariant failure must unwind as a *proto.InvariantError so the
+// simulation kernel can attach its recent event-dispatch trace (see
+// sim.EventTraceAttacher) and a chaos-soak failure prints the node's
+// consistency state plus the events that led there instead of a bare stack
+// trace. Use the invariantf / pageInvariantf helpers (proto/errors.go).
+package panicinvariant
+
+import (
+	"go/ast"
+	"go/types"
+
+	"godsm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "panicinvariant",
+	Doc: "forbid panic values other than *InvariantError in the protocol engine; " +
+		"use invariantf/pageInvariantf so failures carry node state and an event trace",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if len(call.Args) == 1 {
+				tv, ok := pass.TypesInfo.Types[call.Args[0]]
+				if ok && framework.NamedTypeName(tv.Type) == "InvariantError" {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"bare panic in the protocol engine; raise a structured *InvariantError (invariantf/pageInvariantf) so the kernel can attach its event trace")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package panicinvariant_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/framework/analysistest"
+	"godsm/internal/analysis/panicinvariant"
+)
+
+func TestPanicinvariant(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicinvariant.Analyzer, "panicinvariant")
+}

@@ -1,0 +1,30 @@
+// Fixture for the panicinvariant analyzer: only *InvariantError panic
+// values pass; everything else must go through the structured helpers or
+// carry an audited allow comment.
+package panicinvariant
+
+import "fmt"
+
+type InvariantError struct {
+	Node int
+	Msg  string
+}
+
+func (e *InvariantError) Error() string { return e.Msg }
+
+// invariantf mirrors proto/errors.go: the structured panic is the helper's
+// whole job, so the analyzer accepts it.
+func invariantf(node int, format string, args ...any) {
+	panic(&InvariantError{Node: node, Msg: fmt.Sprintf(format, args...)})
+}
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative x") // want `bare panic in the protocol engine`
+	}
+	panic(fmt.Errorf("x=%d", x)) // want `bare panic in the protocol engine`
+}
+
+func sanctioned() {
+	panic("unreachable") //dsmvet:allow panicinvariant — fixture's escape hatch
+}

@@ -1,0 +1,55 @@
+package suite_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/framework"
+	"godsm/internal/analysis/suite"
+)
+
+// TestRepoClean is the meta-test the acceptance criteria ask for: the full
+// dsmvet suite over the whole module must report nothing. Any new
+// wall-clock read, global-rand draw, order-sensitive map range, bare proto
+// panic or uncharged send site fails this test before it reaches CI.
+func TestRepoClean(t *testing.T) {
+	root, err := framework.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := suite.Check(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteShape guards the suite's wiring: analyzer names must be unique
+// and non-empty (allow comments key on them), and every unit must sweep at
+// least the protocol engine or the module root package set it claims.
+func TestSuiteShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, u := range suite.Units() {
+		name := u.Analyzer.Name
+		if name == "" || u.Analyzer.Doc == "" || u.Analyzer.Run == nil {
+			t.Errorf("analyzer %q: incomplete definition", name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate analyzer name %q", name)
+		}
+		seen[name] = true
+		if u.Scope == nil {
+			t.Errorf("analyzer %q: nil scope", name)
+			continue
+		}
+		if !u.Scope("godsm/internal/proto") {
+			t.Errorf("analyzer %q: does not sweep the protocol engine", name)
+		}
+	}
+	for _, want := range []string{"walltime", "globalrand", "mapiter", "panicinvariant", "chargecost"} {
+		if !seen[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}

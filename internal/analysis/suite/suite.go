@@ -1,0 +1,107 @@
+// Package suite assembles dsmvet: the five analyzers plus the package
+// scope each one sweeps. The scopes are policy, shared by the cmd/dsmvet
+// multichecker and the repo-wide meta-test so the two can never disagree.
+package suite
+
+import (
+	"sort"
+	"strings"
+
+	"godsm/internal/analysis/chargecost"
+	"godsm/internal/analysis/framework"
+	"godsm/internal/analysis/globalrand"
+	"godsm/internal/analysis/mapiter"
+	"godsm/internal/analysis/panicinvariant"
+	"godsm/internal/analysis/walltime"
+)
+
+// Unit pairs an analyzer with the import-path scope it applies to.
+type Unit struct {
+	Analyzer *framework.Analyzer
+	// Scope reports whether the analyzer sweeps the given package.
+	Scope func(pkgPath string) bool
+}
+
+// deterministicCore lists the packages whose execution must be a pure
+// function of configuration and seed: everything a simulation result flows
+// through. The harness and cmds around them may touch the host (report
+// timing, JSON dates) — through the single annotated escape hatch.
+var deterministicCore = []string{
+	"godsm/internal/sim",
+	"godsm/internal/proto",
+	"godsm/internal/netsim",
+	"godsm/internal/lrc",
+	"godsm/internal/pagemem",
+	"godsm/internal/apps",
+	"godsm/internal/core",
+	"godsm/internal/stats",
+}
+
+func inCore(path string) bool {
+	for _, p := range deterministicCore {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func everywhere(string) bool { return true }
+
+func protoOnly(path string) bool { return path == "godsm/internal/proto" }
+
+// Units returns the dsmvet suite in diagnostic order.
+//
+//   - walltime and globalrand sweep the whole module: wall clocks and the
+//     global rand source are banned even in the harness and cmds, where
+//     the sanctioned exceptions are explicit allow-annotated helpers.
+//   - mapiter sweeps the deterministic core, where iteration order can
+//     reach simulation state or report bytes.
+//   - panicinvariant and chargecost encode protocol-engine contracts and
+//     sweep internal/proto alone.
+func Units() []Unit {
+	return []Unit{
+		{walltime.Analyzer, everywhere},
+		{globalrand.Analyzer, everywhere},
+		{mapiter.Analyzer, inCore},
+		{panicinvariant.Analyzer, protoOnly},
+		{chargecost.Analyzer, protoOnly},
+	}
+}
+
+// Check loads the packages matching patterns under moduleRoot and applies
+// every in-scope analyzer, returning the findings sorted by position.
+func Check(moduleRoot string, patterns ...string) ([]framework.Diagnostic, error) {
+	loader, err := framework.NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []framework.Diagnostic
+	for _, pkg := range pkgs {
+		for _, u := range Units() {
+			if !u.Scope(pkg.Path) {
+				continue
+			}
+			diags, err := framework.Run(u.Analyzer, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

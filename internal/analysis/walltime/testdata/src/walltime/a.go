@@ -1,0 +1,41 @@
+// Fixture for the walltime analyzer: wall-clock reads are flagged, virtual
+// time and formatting vocabulary are not, and the allow comment suppresses.
+package walltime
+
+import (
+	"time"
+
+	wall "time"
+)
+
+func bad() {
+	t := time.Now()                // want `time\.Now reads the wall clock`
+	_ = time.Since(t)              // want `time\.Since reads the wall clock`
+	_ = time.Until(t)              // want `time\.Until reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	_ = wall.Now()                 // want `time\.Now reads the wall clock`
+}
+
+func asValue() func() time.Time {
+	return time.Now // want `time\.Now reads the wall clock`
+}
+
+func sanctioned() time.Time {
+	return time.Now() //dsmvet:allow walltime — fixture's escape hatch
+}
+
+func wrongName() time.Time {
+	return time.Now() //dsmvet:allow globalrand — names another analyzer, does not suppress // want `time\.Now reads the wall clock`
+}
+
+func sanctionedAbove() time.Time {
+	//dsmvet:allow walltime — annotation on the preceding line also counts
+	return time.Now()
+}
+
+// Types, constants and duration arithmetic stay usable: reports format wall
+// durations they were handed without reading the clock themselves.
+func fine(d time.Duration) string {
+	return d.String() + time.RFC3339
+}

@@ -1,0 +1,59 @@
+// Package walltime forbids wall-clock reads and host timers in simulation
+// code. Every report the harness emits is trusted because same seed ⇒
+// byte-identical output; a single time.Now in a simulation path silently
+// breaks that. Virtual time lives in sim.Kernel; the one sanctioned
+// wall-clock read is harness.Wallclock (report timing only), which carries
+// the //dsmvet:allow walltime annotation.
+package walltime
+
+import (
+	"go/ast"
+
+	"godsm/internal/analysis/framework"
+)
+
+// banned lists the package time functions that read the host clock or
+// schedule against it. Types and constants (time.Duration, time.RFC3339)
+// stay usable for formatting wall durations the harness was handed.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now, time.Since, host timers) outside the " +
+		"annotated harness.Wallclock escape hatch; simulation code must take time " +
+		"from sim.Kernel so runs stay seed-deterministic",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			if framework.PkgNameOf(pass.TypesInfo, id) != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; use sim.Kernel virtual time, or harness.Wallclock for report timing",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/framework/analysistest"
+	"godsm/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walltime.Analyzer, "walltime")
+}

@@ -214,12 +214,12 @@ func (s *Session) runConfig(app string, cfg dsm.Config, verify bool) (*dsm.Repor
 	}
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	start := time.Now()
+	start := Wallclock()
 	sys := dsm.NewSystem(cfg)
 	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: verify})
 	rep := sys.Run(inst.Run)
 	s.simCount.Add(1)
-	s.simWall.Add(int64(time.Since(start)))
+	s.simWall.Add(int64(Wallclock().Sub(start)))
 	if err := inst.Err(); err != nil {
 		return nil, fmt.Errorf("verification failed: %w", err)
 	}

@@ -1,0 +1,14 @@
+package harness
+
+import "time"
+
+// Wallclock returns the host's wall-clock time. It is the single
+// sanctioned wall-clock read in the module — report timing and JSON date
+// stamps only, never anything a simulation result depends on; simulated
+// time comes from sim.Kernel. dsmvet's walltime analyzer rejects every
+// other time.Now/time.Since in non-test code, so new host-time needs must
+// either route through here or argue their own //dsmvet:allow annotation
+// in review.
+func Wallclock() time.Time {
+	return time.Now() //dsmvet:allow walltime — the one sanctioned wall-clock read
+}

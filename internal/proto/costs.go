@@ -1,6 +1,9 @@
 package proto
 
-import "godsm/internal/sim"
+import (
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+)
 
 // Costs is the CPU cost model for protocol operations, calibrated so that
 // an uncontended remote page miss lands in the several-hundred-microsecond
@@ -65,4 +68,32 @@ func DefaultCosts() Costs {
 		ReqBytes:     24,
 		PerNoticeByt: 8,
 	}
+}
+
+// Charging helpers. Every message leaving a node pays its CPU send cost
+// (MsgSend and friends, charged through CPU.Service by the caller) before
+// it reaches the wire. The two helpers below are the only sanctioned
+// routes from protocol code to the network; dsmvet's chargecost analyzer
+// flags direct Node.Send/Node.xmit calls anywhere else, so a message
+// cannot leave a node for free.
+
+// sendAfter schedules m to be transmitted once the sending CPU work
+// charged for it completes at time t. Transmission goes through the
+// transport choke point (a plain network send when no transport is
+// enabled).
+func (n *Node) sendAfter(t sim.Time, m *netsim.Message) {
+	n.K.At(t, func() { n.xmit(m) }) //dsmvet:allow chargecost — choke point: t is the send charge's completion time
+}
+
+// sendUnreliable schedules the unsequenced message m to be transmitted at
+// time done (the completion of its CPU charge), invoking onDrop in kernel
+// context if the network drops it. Prefetch-class traffic uses it: loss is
+// tolerated by design, so drops feed pacing counters instead of the
+// reliable transport's retransmission machinery.
+func (n *Node) sendUnreliable(done sim.Time, m *netsim.Message, onDrop func()) {
+	n.K.At(done, func() {
+		if n.Send(m) < 0 { //dsmvet:allow chargecost — choke point for lossy datagrams; charged by the caller
+			onDrop()
+		}
+	})
 }

@@ -85,7 +85,15 @@ func (n *Node) gcFlush() {
 	}
 	// Sanity: validation must have drained every pending list and created
 	// every outstanding own diff (each notice was pending somewhere).
-	for p, ps := range n.pages {
+	// Sorted so a violation deterministically reports the lowest offending
+	// page — the chaos soak's failure dumps must reproduce byte-identically.
+	var check []pagemem.PageID
+	for p := range n.pages {
+		check = append(check, p)
+	}
+	sort.Slice(check, func(i, j int) bool { return check[i] < check[j] })
+	for _, p := range check {
+		ps := n.pages[p]
 		if len(ps.pending) != 0 {
 			n.pageInvariantf(p, "gcFlush with pending diffs on page %d", p)
 		}

@@ -611,13 +611,6 @@ func (n *Node) dispatch(m *netsim.Message) {
 	}
 }
 
-// sendAfter schedules m to be transmitted once the sending CPU work
-// completes at time t. Transmission goes through the transport choke point
-// (a plain network send when no transport is enabled).
-func (n *Node) sendAfter(t sim.Time, m *netsim.Message) {
-	n.K.At(t, func() { n.xmit(m) })
-}
-
 // Trace, when non-nil, receives a line for every protocol event at this
 // node (debugging aid; no stable format).
 var Trace func(node int, format string, args ...any)

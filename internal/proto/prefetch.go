@@ -77,12 +77,7 @@ func (n *Node) Prefetch(p pagemem.PageID) int {
 	cost := n.C.PfIssue + sim.Time(len(msgs)-1)*n.C.MsgSend
 	done := n.CPU.Service(cost, sim.CatPrefetchOv)
 	for _, m := range msgs {
-		m := m
-		n.K.At(done, func() {
-			if n.Send(m) < 0 {
-				n.St.PfReqDropped++
-			}
-		})
+		n.sendUnreliable(done, m, func() { n.St.PfReqDropped++ })
 	}
 	return len(msgs)
 }

@@ -280,6 +280,7 @@ func (k *Kernel) RecentDispatches() []DispatchRecord {
 // simulation leaks no goroutines.
 func (k *Kernel) shutdown() {
 	k.stopped = true
+	//dsmvet:allow mapiter — each parked goroutine unwinds exactly once after the clock has stopped; order is unobservable
 	for p := range k.procs {
 		if p.parked {
 			p.resume <- struct{}{} // park() sees k.stopped and unwinds
