@@ -7,12 +7,16 @@
 //	dsmrun -app SOR [-procs 8] [-threads 1] [-prefetch]
 //	       [-switch-miss] [-switch-sync] [-scale unit|small|paper]
 //	       [-throttle N] [-verify] [-workers N]
-//	       [-loss P] [-dup P] [-fault-seed N]
+//	       [-loss P] [-dup P] [-fault-seed N] [-trace out.json]
 //
 // A nonzero -loss or -dup enables deterministic fault injection (seeded by
 // -fault-seed) and automatically switches the protocol onto its reliable
 // ack/retransmit transport; the report then includes the transport's
 // recovery counters.
+//
+// -trace streams the run's event bus as Chrome trace_event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing: one track per simulated
+// processor plus a network track. Same seed, same trace — byte for byte.
 //
 // -app accepts a single name, a comma-separated list, or "all". With more
 // than one application the independent simulations fan out over a worker
@@ -31,6 +35,7 @@ import (
 
 	"godsm/dsm"
 	"godsm/internal/apps"
+	"godsm/internal/event"
 	"godsm/internal/netsim"
 	"godsm/internal/proto"
 	"godsm/internal/sim"
@@ -47,7 +52,7 @@ func main() {
 	throttle := flag.Int("throttle", 0, "drop every k-th prefetch (0 = off)")
 	verify := flag.Bool("verify", false, "verify output against the sequential golden")
 	kinds := flag.Bool("kinds", false, "print per-message-kind traffic table")
-	traceN := flag.Int("trace", 0, "print the last N protocol events (0 = off, single app only)")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON of the run to this file (single app only)")
 	workers := flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 	loss := flag.Float64("loss", 0, "message loss probability (nonzero enables fault injection)")
 	dup := flag.Float64("dup", 0, "message duplication probability")
@@ -57,6 +62,34 @@ func main() {
 	sc, err := apps.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Reject incoherent flag combinations up front rather than silently
+	// running something the user did not ask for.
+	if *procs < 1 {
+		usageErr("-procs must be at least 1 (got %d)", *procs)
+	}
+	if *threads < 1 {
+		usageErr("-threads must be at least 1 (got %d)", *threads)
+	}
+	if *loss < 0 || *loss > 1 {
+		usageErr("-loss must be a probability in [0,1] (got %g)", *loss)
+	}
+	if *dup < 0 || *dup > 1 {
+		usageErr("-dup must be a probability in [0,1] (got %g)", *dup)
+	}
+	faultsOn := *loss > 0 || *dup > 0
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && !faultsOn {
+		usageErr("-fault-seed given but fault injection is off; set -loss or -dup (or drop -fault-seed)")
+	}
+	if faultsOn && *faultSeed == 0 {
+		usageErr("-fault-seed 0 is reserved (it reads as unset); pick a nonzero seed")
 	}
 	var names []string
 	if *app == "all" {
@@ -81,16 +114,26 @@ func main() {
 	cfg.SwitchOnMiss = *swMiss
 	cfg.SwitchOnSync = *swSync || *threads > 1
 	cfg.ThrottlePf = *throttle
-	if *loss > 0 || *dup > 0 {
+	if faultsOn {
 		cfg.Net.Faults = dsm.FaultPlan{Seed: *faultSeed, Loss: *loss, Dup: *dup}
 	}
 
-	if len(names) == 1 {
-		runOne(names[0], cfg, sc, *verify, *kinds, *traceN)
-		return
+	// Open the trace file before simulating anything: an unwritable path is
+	// a usage error, not something to discover after minutes of simulation.
+	var traceFile *os.File
+	if *tracePath != "" {
+		if len(names) != 1 {
+			usageErr("-trace needs a single -app (one trace file describes one run)")
+		}
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			usageErr("-trace: %v", err)
+		}
 	}
-	if *traceN > 0 {
-		fatal(fmt.Errorf("-trace needs a single -app (the trace hook is global)"))
+
+	if len(names) == 1 {
+		runOne(names[0], cfg, sc, *verify, *kinds, traceFile)
+		return
 	}
 
 	// Fan the independent runs out over a bounded worker pool; print the
@@ -149,29 +192,19 @@ func main() {
 	wg.Wait()
 }
 
-// runOne preserves the single-application path, including the global
-// protocol event trace that cannot run concurrently.
-func runOne(name string, cfg dsm.Config, sc apps.Scale, verify, kinds bool, traceN int) {
+// runOne runs the single-application path, optionally streaming the event
+// bus to a Perfetto trace file.
+func runOne(name string, cfg dsm.Config, sc apps.Scale, verify, kinds bool, traceFile *os.File) {
 	spec, err := apps.ByName(name)
 	if err != nil {
 		fatal(err)
 	}
 	sys := dsm.NewSystem(cfg)
 
-	// Optional protocol event trace: a ring buffer of the last N events
-	// (twin creation, interval close, notice intake, diff make/apply,
-	// faults, lock and barrier traffic), stamped with virtual time.
-	var ring []string
-	if traceN > 0 {
-		proto.Trace = func(node int, format string, args ...any) {
-			ev := fmt.Sprintf("%10dus n%d %s",
-				sys.K.Now()/sim.Microsecond, node, fmt.Sprintf(format, args...))
-			ring = append(ring, ev)
-			if len(ring) > traceN {
-				ring = ring[1:]
-			}
-		}
-		defer func() { proto.Trace = nil }()
+	var tw *event.TraceWriter
+	if traceFile != nil {
+		tw = event.NewTraceWriter(traceFile)
+		sys.K.Bus().Subscribe(tw)
 	}
 
 	inst := spec.Build(sys, apps.Options{Scale: sc, Verify: verify})
@@ -179,15 +212,15 @@ func runOne(name string, cfg dsm.Config, sc apps.Scale, verify, kinds bool, trac
 	if err := inst.Err(); err != nil {
 		fatal(err)
 	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "dsmrun: trace written to %s (open at ui.perfetto.dev)\n", traceFile.Name())
+	}
 	printReport(name, rep)
 	if kinds {
 		printKinds(sys)
-	}
-	if traceN > 0 {
-		fmt.Printf("last %d protocol events:\n", len(ring))
-		for _, ev := range ring {
-			fmt.Println(" ", ev)
-		}
 	}
 }
 
@@ -242,4 +275,12 @@ func printReport(app string, r *dsm.Report) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dsmrun:", err)
 	os.Exit(1)
+}
+
+// usageErr reports a command-line usage error and exits with status 2,
+// pointing at -help rather than dumping the full flag table.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsmrun: %s\n", fmt.Sprintf(format, args...))
+	fmt.Fprintln(os.Stderr, "run dsmrun -help for usage")
+	os.Exit(2)
 }

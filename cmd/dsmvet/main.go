@@ -1,5 +1,5 @@
 // Command dsmvet is the repo's determinism-and-protocol-invariant checker:
-// a multichecker over the five analyzers in internal/analysis, in the
+// a multichecker over the six analyzers in internal/analysis, in the
 // spirit of golang.org/x/tools/go/analysis/multichecker but built on the
 // in-tree framework so it needs no module downloads.
 //

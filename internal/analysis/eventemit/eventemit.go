@@ -1,0 +1,71 @@
+// Package eventemit keeps the simulation event taxonomy closed: outside
+// internal/event, an event.Event may only be obtained from that package's
+// typed constructors (event.FaultRemote, event.NetDrop, ...), never built
+// field-by-field. A composite literal or a field write at an emission site
+// would let a layer invent an uncatalogued event shape, silently breaking
+// the 1:1 mapping the stats collector and the trace sink rely on — the
+// constructor set *is* the schema.
+package eventemit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"godsm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "eventemit",
+	Doc: "forbid event.Event composite literals and field writes outside internal/event; " +
+		"the typed constructors are the only way to build an event, keeping the taxonomy closed",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isForeignEvent(pass, n) {
+					pass.Reportf(n.Pos(),
+						"event.Event composite literal outside internal/event; use the typed constructor for this kind so the event taxonomy stays closed")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && isForeignEvent(pass, sel.X) {
+						pass.Reportf(lhs.Pos(),
+							"write to event.Event field %s outside internal/event; events are immutable once constructed — add or extend a constructor instead", sel.Sel.Name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := n.X.(*ast.SelectorExpr); ok && isForeignEvent(pass, sel.X) {
+					pass.Reportf(n.Pos(),
+						"write to event.Event field %s outside internal/event; events are immutable once constructed — add or extend a constructor instead", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isForeignEvent reports whether e's type is the Event struct of a package
+// named "event" other than the package under analysis (the event package
+// itself is free to build and stamp its own values).
+func isForeignEvent(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil &&
+		obj.Pkg().Name() == "event" && obj.Pkg() != pass.Pkg
+}

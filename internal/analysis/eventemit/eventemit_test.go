@@ -1,0 +1,12 @@
+package eventemit_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/eventemit"
+	"godsm/internal/analysis/framework/analysistest"
+)
+
+func TestEventEmit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), eventemit.Analyzer, "eventemit", "event")
+}

@@ -1,0 +1,24 @@
+// Package event models internal/event for the eventemit fixtures: the
+// closed taxonomy type plus a blessed constructor. The defining package may
+// build and stamp its own values freely — no diagnostics expected here.
+package event
+
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindDispatch
+)
+
+type Event struct {
+	Kind Kind
+	Node int32
+	At   int64
+}
+
+// Dispatch is a blessed constructor.
+func Dispatch(node int) Event {
+	e := Event{Kind: KindDispatch, Node: int32(node)}
+	e.At = -1
+	return e
+}

@@ -1,0 +1,46 @@
+// Fixtures for the eventemit analyzer: outside the event package, events
+// come from constructors only — composite literals and field writes are
+// flagged, reads and constructor calls are not.
+package eventemit
+
+import "event"
+
+type sink struct{ last event.Event }
+
+func good() {
+	e := event.Dispatch(3) // constructors are the blessed path
+	_ = e.Node             // reads are fine
+	s := sink{last: e}     // storing a constructed event is fine
+	_ = s
+}
+
+func badLiteral() event.Event {
+	return event.Event{Kind: event.KindDispatch} // want `composite literal outside internal/event`
+}
+
+func badPointerLiteral() *event.Event {
+	return &event.Event{} // want `composite literal outside internal/event`
+}
+
+func badFieldWrite() {
+	e := event.Dispatch(1)
+	e.Node = 7 // want `write to event.Event field Node`
+	e.At++     // want `write to event.Event field At`
+	p := &e
+	p.At = 9 // want `write to event.Event field At`
+}
+
+func allowedEscapeHatch() event.Event {
+	//dsmvet:allow eventemit — modelling the audited escape hatch
+	return event.Event{}
+}
+
+// A local type that happens to be called Event must not be confused with
+// the taxonomy type.
+type Event struct{ Kind int }
+
+func localEventOK() Event {
+	e := Event{Kind: 1}
+	e.Kind = 2
+	return e
+}

@@ -46,37 +46,19 @@ func TestData() string {
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
-		dir := filepath.Join(testdata, "src", pkg)
-		if err := runDir(t, a, dir, pkg); err != nil {
+		if err := runDir(t, a, filepath.Join(testdata, "src"), pkg); err != nil {
 			t.Errorf("%s: %v", pkg, err)
 		}
 	}
 }
 
-func runDir(t *testing.T, a *framework.Analyzer, dir, pkgPath string) error {
+func runDir(t *testing.T, a *framework.Analyzer, root, pkgPath string) error {
 	t.Helper()
+	dir := filepath.Join(root, filepath.FromSlash(pkgPath))
 	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
+	files, err := parseFixtureDir(fset, dir)
 	if err != nil {
 		return err
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return fmt.Errorf("no fixture files in %s", dir)
-	}
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return err
-		}
-		files = append(files, f)
 	}
 
 	info := &types.Info{
@@ -87,9 +69,10 @@ func runDir(t *testing.T, a *framework.Analyzer, dir, pkgPath string) error {
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	// Fixtures import only the standard library; the source importer
-	// resolves it from GOROOT without prebuilt export data.
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	// Imports resolve first against sibling fixture packages under
+	// testdata/src (so fixtures can model cross-package contracts), then
+	// against the standard library via the GOROOT source importer.
+	conf := types.Config{Importer: newFixtureImporter(root, fset)}
 	tpkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {
 		return fmt.Errorf("type-checking fixture: %w", err)
@@ -174,4 +157,72 @@ func matchWant(ws []*want, msg string) bool {
 		}
 	}
 	return false
+}
+
+// parseFixtureDir parses every .go file in one fixture directory, sorted
+// for deterministic diagnostics.
+func parseFixtureDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// fixtureImporter resolves import paths against testdata/src before falling
+// back to the standard library, so a fixture package can import another
+// fixture package the way real code imports internal/event.
+type fixtureImporter struct {
+	root string // testdata/src
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func newFixtureImporter(root string, fset *token.FileSet) *fixtureImporter {
+	return &fixtureImporter{
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return im.std.Import(path)
+	}
+	files, err := parseFixtureDir(im.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture import %s: %w", path, err)
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
 }

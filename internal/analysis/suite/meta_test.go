@@ -9,8 +9,9 @@ import (
 
 // TestRepoClean is the meta-test the acceptance criteria ask for: the full
 // dsmvet suite over the whole module must report nothing. Any new
-// wall-clock read, global-rand draw, order-sensitive map range, bare proto
-// panic or uncharged send site fails this test before it reaches CI.
+// wall-clock read, global-rand draw, order-sensitive map range, hand-rolled
+// event literal, bare proto panic or uncharged send site fails this test
+// before it reaches CI.
 func TestRepoClean(t *testing.T) {
 	root, err := framework.FindModuleRoot(".")
 	if err != nil {
@@ -47,7 +48,7 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("analyzer %q: does not sweep the protocol engine", name)
 		}
 	}
-	for _, want := range []string{"walltime", "globalrand", "mapiter", "panicinvariant", "chargecost"} {
+	for _, want := range []string{"walltime", "globalrand", "mapiter", "eventemit", "panicinvariant", "chargecost"} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

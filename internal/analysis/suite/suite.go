@@ -1,4 +1,4 @@
-// Package suite assembles dsmvet: the five analyzers plus the package
+// Package suite assembles dsmvet: the six analyzers plus the package
 // scope each one sweeps. The scopes are policy, shared by the cmd/dsmvet
 // multichecker and the repo-wide meta-test so the two can never disagree.
 package suite
@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"godsm/internal/analysis/chargecost"
+	"godsm/internal/analysis/eventemit"
 	"godsm/internal/analysis/framework"
 	"godsm/internal/analysis/globalrand"
 	"godsm/internal/analysis/mapiter"
@@ -35,6 +36,7 @@ var deterministicCore = []string{
 	"godsm/internal/apps",
 	"godsm/internal/core",
 	"godsm/internal/stats",
+	"godsm/internal/event",
 }
 
 func inCore(path string) bool {
@@ -50,6 +52,11 @@ func everywhere(string) bool { return true }
 
 func protoOnly(path string) bool { return path == "godsm/internal/proto" }
 
+// notEventPkg scopes eventemit: every package must build events through the
+// internal/event constructors except internal/event itself, which defines
+// them.
+func notEventPkg(path string) bool { return path != "godsm/internal/event" }
+
 // Units returns the dsmvet suite in diagnostic order.
 //
 //   - walltime and globalrand sweep the whole module: wall clocks and the
@@ -57,6 +64,8 @@ func protoOnly(path string) bool { return path == "godsm/internal/proto" }
 //     the sanctioned exceptions are explicit allow-annotated helpers.
 //   - mapiter sweeps the deterministic core, where iteration order can
 //     reach simulation state or report bytes.
+//   - eventemit sweeps everything but internal/event: the event taxonomy
+//     is closed, so events are built only by that package's constructors.
 //   - panicinvariant and chargecost encode protocol-engine contracts and
 //     sweep internal/proto alone.
 func Units() []Unit {
@@ -64,6 +73,7 @@ func Units() []Unit {
 		{walltime.Analyzer, everywhere},
 		{globalrand.Analyzer, everywhere},
 		{mapiter.Analyzer, inCore},
+		{eventemit.Analyzer, notEventPkg},
 		{panicinvariant.Analyzer, protoOnly},
 		{chargecost.Analyzer, protoOnly},
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"godsm/internal/event"
 	"godsm/internal/pagemem"
 	"godsm/internal/sim"
 )
@@ -78,10 +79,7 @@ func (e *Env) flushBusy() {
 
 // noteBlock records run-length statistics at a stall.
 func (e *Env) noteBlock() {
-	st := e.t.proc.node.St
-	st.Blocks++
-	st.Runs++
-	st.RunTotal += e.runSince
+	e.t.proc.bus.Emit(event.ThreadBlock(e.t.proc.id, e.t.id, e.runSince))
 	e.runSince = 0
 }
 
@@ -230,7 +228,7 @@ func (e *Env) Unlock(id int) {
 		ll.queue = ll.queue[1:]
 		ll.wakers = ll.wakers[1:]
 		ll.holder = next
-		pr.node.St.LocalLockAcqs++
+		pr.bus.Emit(event.LockLocal(pr.id, id))
 		done := pr.cpu.Service(pr.sys.Cfg.LocalLockPass, sim.CatDSM)
 		pr.sys.K.At(done, wake)
 		return

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"godsm/internal/event"
 	"godsm/internal/pagemem"
 	"godsm/internal/proto"
 	"godsm/internal/sim"
@@ -37,6 +38,7 @@ type Processor struct {
 	id   int
 	node *proto.Node
 	cpu  *sim.CPU
+	bus  *event.Bus
 
 	threads []*Thread
 	current *Thread
@@ -91,6 +93,7 @@ func newProcessor(s *System, id int, node *proto.Node, cpu *sim.CPU) *Processor 
 		id:      id,
 		node:    node,
 		cpu:     cpu,
+		bus:     s.K.Bus(),
 		llocks:  make(map[int]*localLock),
 		pfFlags: make(map[uint64]bool),
 	}
@@ -185,6 +188,7 @@ func (pr *Processor) onRunnable(t *Thread) {
 		t.state = tRunning
 		t.p.Wake()
 	case tBlocked:
+		pr.bus.Emit(event.ThreadResume(pr.id, t.id))
 		t.state = tReady
 		pr.ready = append(pr.ready, t)
 		if pr.current == nil {
@@ -215,7 +219,7 @@ func (pr *Processor) dispatchNext() {
 	t.state = tRunning
 	pr.current = t
 	if pr.sys.Cfg.ThreadsPerProc > 1 && pr.everRan {
-		pr.node.St.CtxSwitches++
+		pr.bus.Emit(event.ThreadSwitch(pr.id, t.id))
 		done := pr.cpu.Service(pr.sys.Cfg.Costs.CtxSwitch, sim.CatMTOv)
 		t.p.WakeAt(done)
 	} else {

@@ -121,9 +121,13 @@ func NewSystem(cfg Config) *System {
 		s.Nodes[m.Dst].Deliver(m)
 	})
 	s.NodeSt = make([]stats.Node, cfg.Procs)
+	// All per-node protocol counters are derived from the event bus: layers
+	// emit at the point something happens and the collector folds the events
+	// into NodeSt, so counters and traces can never disagree.
+	s.K.Bus().Subscribe(stats.NewCollector(s.NodeSt))
 	for i := 0; i < cfg.Procs; i++ {
 		cpu := sim.NewCPU(s.K)
-		node := proto.NewNode(i, cfg.Procs, s.K, cpu, &cfg.Costs, &s.NodeSt[i])
+		node := proto.NewNode(i, cfg.Procs, s.K, cpu, &cfg.Costs)
 		node.Send = s.Net.Send
 		node.SetMT(cfg.MT())
 		if cfg.Net.Faults.Active() {

@@ -1,0 +1,63 @@
+package event
+
+// ringSize is the number of recent events the bus always retains for
+// failure dumps, regardless of whether any sink is subscribed. Power of two.
+const ringSize = 128
+
+// Sink receives every emitted event, synchronously, in emission order.
+// Events arrive by value; a sink must copy anything it wants to keep beyond
+// the call (the Event itself is safe to store — it owns no mutable state).
+type Sink interface {
+	Event(Event)
+}
+
+// Bus is the per-kernel event bus. Emission always feeds a bounded ring of
+// recent history (so invariant-failure dumps work in every run); subscribed
+// sinks — stats collectors, trace writers — are the optional part. With no
+// sinks subscribed, Emit is a time stamp, a ring write and a nil-slice
+// range: it never allocates.
+//
+// A Bus is owned by its kernel and must only be used from kernel context;
+// like the kernel itself it is not safe for concurrent use.
+type Bus struct {
+	now   func() int64 // kernel clock, captured at construction
+	sinks []Sink
+	ring  [ringSize]Event
+	ringN uint64 // total events emitted
+}
+
+// NewBus returns a bus that stamps events with the given clock.
+func NewBus(now func() int64) *Bus {
+	return &Bus{now: now}
+}
+
+// Subscribe adds a sink. Sinks are invoked in subscription order.
+func (b *Bus) Subscribe(s Sink) {
+	b.sinks = append(b.sinks, s)
+}
+
+// Emit stamps e with the current virtual time, records it in the bounded
+// ring, and fans it out to every subscribed sink.
+func (b *Bus) Emit(e Event) {
+	e.At = b.now()
+	b.ring[b.ringN&(ringSize-1)] = e
+	b.ringN++
+	for _, s := range b.sinks {
+		s.Event(e)
+	}
+}
+
+// Recent returns the retained event history, oldest first. The slice is
+// freshly allocated; callers may keep it.
+func (b *Bus) Recent() []Event {
+	n := b.ringN
+	count := uint64(ringSize)
+	if n < count {
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, b.ring[i&(ringSize-1)])
+	}
+	return out
+}

@@ -1,0 +1,441 @@
+// Package event defines the simulator's typed event bus: a closed taxonomy
+// of observable occurrences (kernel dispatches, network traffic, protocol
+// actions, thread scheduling) that every layer emits through one Bus per
+// kernel. Counters, traces and failure dumps are all derived from the same
+// emissions, so they can never disagree.
+//
+// The taxonomy is closed on purpose: an Event is only constructed through
+// the helper functions in this package (dsmvet's eventemit analyzer enforces
+// this), so a Kind's operand layout is defined in exactly one place and
+// every sink can rely on it.
+//
+// Determinism contract: events are emitted synchronously from kernel
+// context, stamped with the kernel's virtual time, in dispatch order. A
+// simulation is single-threaded, so for a fixed configuration and seed the
+// emitted event sequence — and therefore anything derived from it — is
+// byte-for-byte reproducible.
+package event
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+)
+
+// Kind identifies one event type in the closed taxonomy.
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+
+	// Kernel: one per executed event-loop entry; timer arm/stop.
+	KindDispatch
+	KindTimerArm
+	KindTimerStop
+
+	// Network: message life cycle on the simulated LAN.
+	KindNetEnqueue  // Send called: message handed to the network
+	KindNetTransmit // delivery scheduled (Arg=arrival time, Aux=queueing)
+	KindNetDeliver  // message arrived at its destination
+	KindNetDrop     // message lost (Arg=size, Aux=drop reason)
+	KindNetFault    // injected fault bent the message (Arg=fault reason)
+
+	// Protocol: coherence actions at one node.
+	KindFaultLocal    // fault served from local state (Arg=outcome)
+	KindFaultRemote   // fault needing remote diffs (Arg=outcome, Aux=missing)
+	KindFetchDone     // demand fetch completed (Arg=stall duration)
+	KindDiffMake      // diff created from a twin (Arg=data bytes)
+	KindDiffApply     // diff applied to the local frame (Arg=data bytes)
+	KindTwin          // twin created for a first write
+	KindIntervalClose // open interval closed (Seq=interval seq, Arg=pages)
+	KindNoticeIn      // remote interval record taken in (Peer=creator)
+
+	// Synchronization.
+	KindLockLocal   // acquire satisfied locally (cached token or hand-off)
+	KindLockRemote  // acquire went remote
+	KindLockGrant   // remote grant arrived (Arg=stall duration)
+	KindLockForward // forwarded request processed at the previous requester
+	KindLockReturn  // token returned to its manager (NoTokenCache)
+	KindBarArrive   // barrier arrival
+	KindBarRelease  // barrier release reached this node (Arg=stall duration)
+
+	// Prefetching.
+	KindPfCall        // Prefetch() invoked
+	KindPfUnnecessary // dropped after the cheap check
+	KindPfThrottle    // dropped by ThrottlePf pacing
+	KindPfIssue       // request messages sent (Arg=message count)
+	KindPfReqDrop     // request lost in the network
+	KindPfReplyDrop   // reply lost in the network (counted at the server)
+
+	// Diff garbage collection.
+	KindGCBegin // validation phase started
+	KindGCFlush // records discarded at this node
+	KindGCDone  // collection finished (Arg=elapsed)
+
+	// Reliable transport.
+	KindXpTimeout    // retransmission timer fired (Arg=consecutive retries)
+	KindXpRetransmit // frame re-sent (Seq=frame seq, Arg=new RTO)
+	KindXpAck        // pure ack sent
+	KindXpDup        // duplicate frame suppressed (Seq=frame seq)
+
+	// Thread scheduling.
+	KindThreadSwitch // context switch charged (Aux=incoming thread)
+	KindThreadBlock  // thread stalled (Arg=run length, Aux=thread)
+	KindThreadResume // blocked thread became runnable (Aux=thread)
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindNone:          "none",
+	KindDispatch:      "dispatch",
+	KindTimerArm:      "timer-arm",
+	KindTimerStop:     "timer-stop",
+	KindNetEnqueue:    "net-enqueue",
+	KindNetTransmit:   "net-transmit",
+	KindNetDeliver:    "net-deliver",
+	KindNetDrop:       "net-drop",
+	KindNetFault:      "net-fault",
+	KindFaultLocal:    "fault-local",
+	KindFaultRemote:   "fault-remote",
+	KindFetchDone:     "fetch-done",
+	KindDiffMake:      "diff-make",
+	KindDiffApply:     "diff-apply",
+	KindTwin:          "twin",
+	KindIntervalClose: "interval-close",
+	KindNoticeIn:      "notice-in",
+	KindLockLocal:     "lock-local",
+	KindLockRemote:    "lock-remote",
+	KindLockGrant:     "lock-grant",
+	KindLockForward:   "lock-forward",
+	KindLockReturn:    "lock-return",
+	KindBarArrive:     "bar-arrive",
+	KindBarRelease:    "bar-release",
+	KindPfCall:        "pf-call",
+	KindPfUnnecessary: "pf-unnecessary",
+	KindPfThrottle:    "pf-throttle",
+	KindPfIssue:       "pf-issue",
+	KindPfReqDrop:     "pf-req-drop",
+	KindPfReplyDrop:   "pf-reply-drop",
+	KindGCBegin:       "gc-begin",
+	KindGCFlush:       "gc-flush",
+	KindGCDone:        "gc-done",
+	KindXpTimeout:     "xp-timeout",
+	KindXpRetransmit:  "xp-retransmit",
+	KindXpAck:         "xp-ack",
+	KindXpDup:         "xp-dup",
+	KindThreadSwitch:  "thread-switch",
+	KindThreadBlock:   "thread-block",
+	KindThreadResume:  "thread-resume",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Fault outcomes (Arg of KindFaultLocal / KindFaultRemote), mirroring the
+// paper's Figure 3 categories.
+const (
+	OutcomeNoPf        int64 = iota // page was never prefetched
+	OutcomePfHit                    // all needed diffs were in the prefetch cache
+	OutcomePfLate                   // prefetched, but replies had not (all) arrived
+	OutcomePfInvalided              // prefetched, but new notices superseded it
+)
+
+// Drop reasons (Aux of KindNetDrop).
+const (
+	DropCongestion int64 = iota // unreliable message over the queueing threshold
+	DropBrownout                // link brown-out window
+	DropLoss                    // probabilistic injected loss
+)
+
+// Fault reasons (Arg of KindNetFault).
+const (
+	FaultJitter int64 = iota // reordering jitter added to the arrival
+	FaultDup                 // duplicate copy created
+	FaultStall               // NIC stall window delayed link occupancy
+)
+
+// Event is one occurrence on the bus. The operand fields are overloaded per
+// Kind (see the constructor for each kind); unused fields are zero. Events
+// are passed by value end to end so emission never allocates.
+type Event struct {
+	Kind    Kind
+	MsgKind uint8 // netsim message kind, for Net*/Xp* events
+	Node    int32 // acting node (the sender for Net* events); -1 if none
+	Peer    int32 // other party: destination, peer, creator; -1 if none
+	At      int64 // virtual time, stamped by the bus at emission
+	Seq     uint64
+	Page    int64 // page, lock or barrier id; -1 if none
+	Arg     int64 // kind-specific operand
+	Aux     int64 // second kind-specific operand
+	Fn      any   // dispatched function (kernel kinds only)
+}
+
+// String renders the event for failure dumps: virtual time, kind, and the
+// operands that are meaningful for the kind. The format is deterministic.
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%-12d %-14s", e.At, e.Kind)
+	switch e.Kind {
+	case KindDispatch:
+		return s + fmt.Sprintf(" seq=%-8d %s", e.Seq, FuncName(e.Fn))
+	case KindTimerArm:
+		return s + fmt.Sprintf(" at=%d %s", e.Arg, FuncName(e.Fn))
+	case KindTimerStop:
+		return s + " " + FuncName(e.Fn)
+	case KindNetEnqueue, KindNetDeliver:
+		return s + fmt.Sprintf(" %d->%d mk=%d size=%d seq=%d", e.Node, e.Peer, e.MsgKind, e.Arg, e.Seq)
+	case KindNetTransmit:
+		return s + fmt.Sprintf(" %d->%d mk=%d arrive=%d queue=%d", e.Node, e.Peer, e.MsgKind, e.Arg, e.Aux)
+	case KindNetDrop:
+		return s + fmt.Sprintf(" %d->%d mk=%d size=%d reason=%d", e.Node, e.Peer, e.MsgKind, e.Arg, e.Aux)
+	case KindNetFault:
+		return s + fmt.Sprintf(" %d->%d mk=%d reason=%d", e.Node, e.Peer, e.MsgKind, e.Arg)
+	}
+	s += fmt.Sprintf(" n%d", e.Node)
+	if e.Peer >= 0 {
+		s += fmt.Sprintf(" peer=%d", e.Peer)
+	}
+	if e.Page >= 0 {
+		s += fmt.Sprintf(" id=%d", e.Page)
+	}
+	if e.Seq != 0 {
+		s += fmt.Sprintf(" seq=%d", e.Seq)
+	}
+	if e.Arg != 0 {
+		s += fmt.Sprintf(" arg=%d", e.Arg)
+	}
+	if e.Aux != 0 {
+		s += fmt.Sprintf(" aux=%d", e.Aux)
+	}
+	return s
+}
+
+// FuncName resolves the name of an event callback for dumps. Resolution is
+// lazy — only dump construction pays for it.
+func FuncName(fn any) string {
+	if fn == nil {
+		return "?"
+	}
+	if f := runtime.FuncForPC(reflect.ValueOf(fn).Pointer()); f != nil {
+		return f.Name()
+	}
+	return "?"
+}
+
+// Constructor helpers — the only sanctioned way to build an Event outside
+// this package (enforced by dsmvet's eventemit analyzer). Each helper
+// documents its kind's operand layout by construction.
+
+// Dispatch records one kernel event-loop execution.
+func Dispatch(seq uint64, fn any) Event {
+	return Event{Kind: KindDispatch, Node: -1, Peer: -1, Page: -1, Seq: seq, Fn: fn}
+}
+
+// TimerArm records a timer being armed to fire at virtual time at.
+func TimerArm(at int64, fn any) Event {
+	return Event{Kind: KindTimerArm, Node: -1, Peer: -1, Page: -1, Arg: at, Fn: fn}
+}
+
+// TimerStop records a pending timer firing being cancelled.
+func TimerStop(fn any) Event {
+	return Event{Kind: KindTimerStop, Node: -1, Peer: -1, Page: -1, Fn: fn}
+}
+
+// NetEnqueue records a message handed to the network by src.
+func NetEnqueue(src, dst int, mk uint8, size int, seq uint64) Event {
+	return Event{Kind: KindNetEnqueue, MsgKind: mk, Node: int32(src), Peer: int32(dst),
+		Page: -1, Seq: seq, Arg: int64(size)}
+}
+
+// NetTransmit records a message's delivery being scheduled: arrive is the
+// arrival time, queueing the total link queueing delay it suffered.
+func NetTransmit(src, dst int, mk uint8, arrive, queueing int64) Event {
+	return Event{Kind: KindNetTransmit, MsgKind: mk, Node: int32(src), Peer: int32(dst),
+		Page: -1, Arg: arrive, Aux: queueing}
+}
+
+// NetDeliver records a message arriving at dst.
+func NetDeliver(src, dst int, mk uint8, size int, seq uint64) Event {
+	return Event{Kind: KindNetDeliver, MsgKind: mk, Node: int32(src), Peer: int32(dst),
+		Page: -1, Seq: seq, Arg: int64(size)}
+}
+
+// NetDrop records a message lost in the network for the given reason.
+func NetDrop(src, dst int, mk uint8, size int, reason int64) Event {
+	return Event{Kind: KindNetDrop, MsgKind: mk, Node: int32(src), Peer: int32(dst),
+		Page: -1, Arg: int64(size), Aux: reason}
+}
+
+// NetFault records an injected fault bending (but not dropping) a message.
+func NetFault(src, dst int, mk uint8, reason int64) Event {
+	return Event{Kind: KindNetFault, MsgKind: mk, Node: int32(src), Peer: int32(dst),
+		Page: -1, Arg: reason}
+}
+
+// FaultLocal records a page fault served without network traffic.
+func FaultLocal(node int, page int64, outcome int64) Event {
+	return Event{Kind: KindFaultLocal, Node: int32(node), Peer: -1, Page: page, Arg: outcome}
+}
+
+// FaultRemote records a page fault that must fetch missing diffs remotely.
+func FaultRemote(node int, page int64, outcome int64, missing int) Event {
+	return Event{Kind: KindFaultRemote, Node: int32(node), Peer: -1, Page: page,
+		Arg: outcome, Aux: int64(missing)}
+}
+
+// FetchDone records a demand fetch completing after stalling for stall ns.
+func FetchDone(node int, page int64, stall int64) Event {
+	return Event{Kind: KindFetchDone, Node: int32(node), Peer: -1, Page: page, Arg: stall}
+}
+
+// DiffMake records a diff of bytes data bytes created from a twin.
+func DiffMake(node int, page int64, bytes int) Event {
+	return Event{Kind: KindDiffMake, Node: int32(node), Peer: -1, Page: page, Arg: int64(bytes)}
+}
+
+// DiffApply records a diff applied to the local frame.
+func DiffApply(node int, page int64, bytes int) Event {
+	return Event{Kind: KindDiffApply, Node: int32(node), Peer: -1, Page: page, Arg: int64(bytes)}
+}
+
+// Twin records a twin created for a first write since the page was clean.
+func Twin(node int, page int64) Event {
+	return Event{Kind: KindTwin, Node: int32(node), Peer: -1, Page: page}
+}
+
+// IntervalClose records the node's open interval closing with pages notices.
+func IntervalClose(node int, seq int32, pages int) Event {
+	return Event{Kind: KindIntervalClose, Node: int32(node), Peer: -1, Page: -1,
+		Seq: uint64(seq), Arg: int64(pages)}
+}
+
+// NoticeIn records a remote interval record (from, seq) being taken in.
+func NoticeIn(node, from int, seq int32, pages int) Event {
+	return Event{Kind: KindNoticeIn, Node: int32(node), Peer: int32(from), Page: -1,
+		Seq: uint64(seq), Arg: int64(pages)}
+}
+
+// LockLocal records a lock acquire satisfied without leaving the processor.
+func LockLocal(node, lock int) Event {
+	return Event{Kind: KindLockLocal, Node: int32(node), Peer: -1, Page: int64(lock)}
+}
+
+// LockRemote records a lock acquire going remote.
+func LockRemote(node, lock int) Event {
+	return Event{Kind: KindLockRemote, Node: int32(node), Peer: -1, Page: int64(lock)}
+}
+
+// LockGrant records a remote grant arriving after stall ns.
+func LockGrant(node, lock int, stall int64) Event {
+	return Event{Kind: KindLockGrant, Node: int32(node), Peer: -1, Page: int64(lock), Arg: stall}
+}
+
+// LockForward records a forwarded acquire processed at the previous requester.
+func LockForward(node, lock, requester int) Event {
+	return Event{Kind: KindLockForward, Node: int32(node), Peer: int32(requester), Page: int64(lock)}
+}
+
+// LockReturn records the token going back to its manager (NoTokenCache).
+func LockReturn(node, lock int) Event {
+	return Event{Kind: KindLockReturn, Node: int32(node), Peer: -1, Page: int64(lock)}
+}
+
+// BarArrive records a barrier arrival by node.
+func BarArrive(node, barrier int) Event {
+	return Event{Kind: KindBarArrive, Node: int32(node), Peer: -1, Page: int64(barrier)}
+}
+
+// BarRelease records the barrier release reaching node after stall ns.
+func BarRelease(node, barrier int, stall int64) Event {
+	return Event{Kind: KindBarRelease, Node: int32(node), Peer: -1, Page: int64(barrier), Arg: stall}
+}
+
+// PfCall records a Prefetch() invocation.
+func PfCall(node int, page int64) Event {
+	return Event{Kind: KindPfCall, Node: int32(node), Peer: -1, Page: page}
+}
+
+// PfUnnecessary records a prefetch dropped after the cheap check.
+func PfUnnecessary(node int, page int64) Event {
+	return Event{Kind: KindPfUnnecessary, Node: int32(node), Peer: -1, Page: page}
+}
+
+// PfThrottle records a prefetch discarded by ThrottlePf pacing.
+func PfThrottle(node int, page int64) Event {
+	return Event{Kind: KindPfThrottle, Node: int32(node), Peer: -1, Page: page}
+}
+
+// PfIssue records msgs prefetch request messages being sent for page.
+func PfIssue(node int, page int64, msgs int) Event {
+	return Event{Kind: KindPfIssue, Node: int32(node), Peer: -1, Page: page, Arg: int64(msgs)}
+}
+
+// PfReqDrop records a prefetch request lost in the network.
+func PfReqDrop(node int, page int64) Event {
+	return Event{Kind: KindPfReqDrop, Node: int32(node), Peer: -1, Page: page}
+}
+
+// PfReplyDrop records a prefetch reply lost in the network (at the server).
+func PfReplyDrop(node int, page int64) Event {
+	return Event{Kind: KindPfReplyDrop, Node: int32(node), Peer: -1, Page: page}
+}
+
+// GCBegin records the start of a node's GC validation phase.
+func GCBegin(node int) Event {
+	return Event{Kind: KindGCBegin, Node: int32(node), Peer: -1, Page: -1}
+}
+
+// GCFlush records collected records being discarded at node.
+func GCFlush(node int) Event {
+	return Event{Kind: KindGCFlush, Node: int32(node), Peer: -1, Page: -1}
+}
+
+// GCDone records a collection finishing at node after elapsed ns.
+func GCDone(node int, elapsed int64) Event {
+	return Event{Kind: KindGCDone, Node: int32(node), Peer: -1, Page: -1, Arg: elapsed}
+}
+
+// XpTimeout records a retransmission timer firing toward peer.
+func XpTimeout(node, peer, retries int) Event {
+	return Event{Kind: KindXpTimeout, Node: int32(node), Peer: int32(peer), Page: -1,
+		Arg: int64(retries)}
+}
+
+// XpRetransmit records frame seq being re-sent to peer; rto is the new
+// (backed-off) retransmission timeout armed after the resend.
+func XpRetransmit(node, peer int, seq uint64, rto int64) Event {
+	return Event{Kind: KindXpRetransmit, Node: int32(node), Peer: int32(peer), Page: -1,
+		Seq: seq, Arg: rto}
+}
+
+// XpAck records a pure (non-piggybacked) ack sent to peer.
+func XpAck(node, peer int) Event {
+	return Event{Kind: KindXpAck, Node: int32(node), Peer: int32(peer), Page: -1}
+}
+
+// XpDup records a duplicate sequenced frame from peer being suppressed.
+func XpDup(node, peer int, seq uint64) Event {
+	return Event{Kind: KindXpDup, Node: int32(node), Peer: int32(peer), Page: -1, Seq: seq}
+}
+
+// ThreadSwitch records a context switch to thread on processor node.
+func ThreadSwitch(node, thread int) Event {
+	return Event{Kind: KindThreadSwitch, Node: int32(node), Peer: -1, Page: -1,
+		Aux: int64(thread)}
+}
+
+// ThreadBlock records thread stalling after a busy run of run ns.
+func ThreadBlock(node, thread int, run int64) Event {
+	return Event{Kind: KindThreadBlock, Node: int32(node), Peer: -1, Page: -1,
+		Arg: run, Aux: int64(thread)}
+}
+
+// ThreadResume records a blocked thread becoming runnable again.
+func ThreadResume(node, thread int) Event {
+	return Event{Kind: KindThreadResume, Node: int32(node), Peer: -1, Page: -1,
+		Aux: int64(thread)}
+}

@@ -1,0 +1,175 @@
+package event
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingBounded(t *testing.T) {
+	var now int64
+	b := NewBus(func() int64 { return now })
+	for i := 0; i < ringSize+40; i++ {
+		now = int64(i)
+		b.Emit(Twin(0, int64(i)))
+	}
+	got := b.Recent()
+	if len(got) != ringSize {
+		t.Fatalf("Recent returned %d events, want %d", len(got), ringSize)
+	}
+	if got[0].Page != 40 || got[len(got)-1].Page != ringSize+39 {
+		t.Fatalf("ring window wrong: first page %d, last page %d", got[0].Page, got[len(got)-1].Page)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At < got[i-1].At {
+			t.Fatalf("Recent not oldest-first at %d", i)
+		}
+	}
+}
+
+func TestRecentPartialFill(t *testing.T) {
+	b := NewBus(func() int64 { return 7 })
+	b.Emit(GCBegin(3))
+	b.Emit(GCDone(3, 11))
+	got := b.Recent()
+	if len(got) != 2 {
+		t.Fatalf("Recent returned %d events, want 2", len(got))
+	}
+	if got[0].Kind != KindGCBegin || got[1].Kind != KindGCDone {
+		t.Fatalf("wrong events: %v", got)
+	}
+	if got[0].At != 7 {
+		t.Fatalf("At not stamped: %d", got[0].At)
+	}
+}
+
+type countSink struct{ n int }
+
+func (c *countSink) Event(Event) { c.n++ }
+
+func TestFanOut(t *testing.T) {
+	b := NewBus(func() int64 { return 0 })
+	a, c := &countSink{}, &countSink{}
+	b.Subscribe(a)
+	b.Subscribe(c)
+	b.Emit(BarArrive(1, 0))
+	b.Emit(BarRelease(1, 0, 5))
+	if a.n != 2 || c.n != 2 {
+		t.Fatalf("sinks saw %d and %d events, want 2 and 2", a.n, c.n)
+	}
+}
+
+// Emission with no sinks subscribed must not allocate: it runs on the
+// kernel's hottest path in every simulation, traced or not.
+func TestEmitNoSinksZeroAlloc(t *testing.T) {
+	b := NewBus(func() int64 { return 42 })
+	fn := func() {}
+	allocs := testing.AllocsPerRun(200, func() {
+		b.Emit(Dispatch(1, fn))
+		b.Emit(NetEnqueue(0, 1, 3, 128, 9))
+		b.Emit(FaultRemote(0, 4, OutcomeNoPf, 2))
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindNone; k < numKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("out-of-range Kind string = %q", got)
+	}
+}
+
+func TestEventStringDeterministic(t *testing.T) {
+	e := LockGrant(2, 7, 1500)
+	e.At = 123456
+	a, b := e.String(), e.String()
+	if a != b {
+		t.Fatalf("String not stable: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "lock-grant") || !strings.Contains(a, "n2") {
+		t.Fatalf("String missing fields: %q", a)
+	}
+}
+
+func runTrace(t *testing.T) []byte {
+	t.Helper()
+	var now int64
+	b := NewBus(func() int64 { return now })
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	b.Subscribe(tw)
+
+	now = 1000
+	b.Emit(Dispatch(1, nil)) // excluded from the trace
+	b.Emit(NetEnqueue(0, 1, 2, 4096, 1))
+	now = 2500
+	b.Emit(FaultRemote(1, 3, OutcomePfLate, 1))
+	now = 3789
+	b.Emit(NetDeliver(0, 1, 2, 4096, 1))
+	b.Emit(ThreadBlock(1, 0, 900))
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceWriterJSON(t *testing.T) {
+	out := runTrace(t)
+	if !json.Valid(out) {
+		t.Fatalf("trace is not valid JSON:\n%s", out)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+			Ts   string `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// 4 instants (dispatch excluded) + 3 thread_name records (net, proc 0
+	// is absent — only procs 1's events and the network track were seen).
+	var instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if instants != 4 {
+		t.Errorf("instants = %d, want 4", instants)
+	}
+	if meta != 2 {
+		t.Errorf("thread_name records = %d, want 2 (network, proc 1)", meta)
+	}
+	if doc.TraceEvents[0].Name != "net-enqueue" || doc.TraceEvents[0].Tid != 0 {
+		t.Errorf("first event = %+v, want net-enqueue on tid 0", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Name != "fault-remote" || doc.TraceEvents[1].Tid != 2 {
+		t.Errorf("second event = %+v, want fault-remote on tid 2", doc.TraceEvents[1])
+	}
+	if doc.TraceEvents[1].Ts != "2.500" {
+		t.Errorf("ts = %q, want %q", doc.TraceEvents[1].Ts, "2.500")
+	}
+}
+
+func TestTraceWriterDeterministic(t *testing.T) {
+	a := runTrace(t)
+	b := runTrace(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical emissions produced different traces:\n%s\n----\n%s", a, b)
+	}
+}

@@ -1,0 +1,105 @@
+package event
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// TraceWriter is a Sink that streams the event flow as Chrome trace_event
+// JSON (the format Perfetto and chrome://tracing load): one instant event
+// per bus emission, on one track per simulated processor plus a shared
+// network track. Kernel-internal kinds (dispatch, timers) are excluded —
+// they exist for failure dumps, not timelines.
+//
+// Output is fully deterministic: events appear in emission order, the
+// thread-name metadata emitted by Close is sorted by track id, and
+// timestamps are formatted with fixed precision. Two runs of the same
+// configuration and seed produce byte-identical files.
+type TraceWriter struct {
+	w    *bufio.Writer
+	c    io.Closer // underlying file, if any
+	n    int       // events written, for comma placement
+	seen []bool    // seen[tid]: track has at least one event
+	err  error
+}
+
+// NewTraceWriter returns a writer streaming to w. If w also implements
+// io.Closer, Close closes it after finishing the JSON document.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	t.printf(`{"displayTimeUnit":"ns","traceEvents":[`)
+	return t
+}
+
+func (t *TraceWriter) printf(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
+// tid maps an event to its track: 0 is the network, processor i is i+1.
+func tid(e Event) int {
+	switch e.Kind {
+	case KindNetEnqueue, KindNetTransmit, KindNetDeliver, KindNetDrop, KindNetFault:
+		return 0
+	}
+	return int(e.Node) + 1
+}
+
+// Event implements Sink.
+func (t *TraceWriter) Event(e Event) {
+	switch e.Kind {
+	case KindDispatch, KindTimerArm, KindTimerStop:
+		return
+	}
+	id := tid(e)
+	for len(t.seen) <= id {
+		t.seen = append(t.seen, false)
+	}
+	t.seen[id] = true
+	if t.n > 0 {
+		t.printf(",")
+	}
+	t.n++
+	// trace_event timestamps are microseconds; keep nanosecond precision
+	// as a fixed three-digit fraction.
+	t.printf("\n"+`{"name":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":"%d.%03d",`+
+		`"args":{"node":%d,"peer":%d,"mk":%d,"seq":%d,"page":%d,"arg":%d,"aux":%d}}`,
+		e.Kind.String(), id, e.At/1000, e.At%1000,
+		e.Node, e.Peer, e.MsgKind, e.Seq, e.Page, e.Arg, e.Aux)
+}
+
+// Close writes the per-track thread-name metadata (sorted by track id),
+// terminates the JSON document, flushes, and closes the underlying writer
+// if it is closable. It returns the first error encountered at any point.
+func (t *TraceWriter) Close() error {
+	for id, ok := range t.seen {
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("proc %d", id-1)
+		if id == 0 {
+			name = "network"
+		}
+		if t.n > 0 {
+			t.printf(",")
+		}
+		t.n++
+		t.printf("\n"+`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, id, name)
+	}
+	t.printf("\n]}\n")
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

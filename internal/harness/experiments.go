@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"io"
+
+	"godsm/internal/stats"
 )
 
 // RunFig1 regenerates Figure 1: the execution-time breakdown of the
@@ -66,16 +68,23 @@ func RunTable1(s *Session, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		nP := repP.Sum()
-		fmt.Fprintf(w, "%-10s %7.2f%% %7.2f%% | %9sK %9sK | %8d %8d | %7sus %7sus | %7d %7d\n",
-			app,
-			repP.UnnecessaryPfPct(), repP.CoverageFactor(),
-			kb(repO.BytesTotal), kb(repP.BytesTotal),
-			repO.TotalMisses(), repP.TotalMisses(),
-			usec(repO.AvgMissLatency()), usec(repP.AvgMissLatency()),
-			nP.PfReqDropped, nP.PfReplyDropped)
+		fmt.Fprint(w, table1Row(app, repO, repP))
 	}
 	return nil
+}
+
+// table1Row renders one application's Table 1 line from its original (O) and
+// prefetching (P) reports. Split out so the rendering — in particular the
+// request/reply drop split — is testable against fabricated reports.
+func table1Row(app string, repO, repP *stats.Report) string {
+	nP := repP.Sum()
+	return fmt.Sprintf("%-10s %7.2f%% %7.2f%% | %9sK %9sK | %8d %8d | %7sus %7sus | %7d %7d\n",
+		app,
+		repP.UnnecessaryPfPct(), repP.CoverageFactor(),
+		kb(repO.BytesTotal), kb(repP.BytesTotal),
+		repO.TotalMisses(), repP.TotalMisses(),
+		usec(repO.AvgMissLatency()), usec(repP.AvgMissLatency()),
+		nP.PfReqDropped, nP.PfReplyDropped)
 }
 
 // RunFig3 regenerates Figure 3: what happened to each original remote miss

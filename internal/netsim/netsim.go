@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"godsm/internal/event"
 	"godsm/internal/sim"
 )
 
@@ -163,6 +164,7 @@ type nic struct {
 // Network is the simulated LAN. Construct with New.
 type Network struct {
 	k       *sim.Kernel
+	bus     *event.Bus
 	cfg     Config
 	nics    []nic
 	deliver func(*Message)
@@ -178,7 +180,7 @@ func New(k *sim.Kernel, n int, cfg Config, deliver func(*Message)) *Network {
 	if n <= 0 {
 		panic("netsim: need at least one node")
 	}
-	net := &Network{k: k, cfg: cfg, nics: make([]nic, n), deliver: deliver}
+	net := &Network{k: k, bus: k.Bus(), cfg: cfg, nics: make([]nic, n), deliver: deliver}
 	if cfg.Faults.Active() {
 		net.rng = rand.New(rand.NewSource(cfg.Faults.Seed))
 	}
@@ -221,6 +223,15 @@ func (n *Network) serialization(size int) sim.Time {
 	return sim.Time(float64(size) * n.cfg.NsPerByte)
 }
 
+// deliverAt schedules m's arrival at time at, emitting the delivery event
+// at the moment it happens.
+func (n *Network) deliverAt(at sim.Time, m *Message) {
+	n.k.At(at, func() {
+		n.bus.Emit(event.NetDeliver(int(m.Src), int(m.Dst), uint8(m.Kind), m.Size, m.Seq))
+		n.deliver(m)
+	})
+}
+
 // Send transmits m at the current virtual time. It returns the delivery
 // time, or -1 if the message was dropped. Loopback (Src == Dst) is
 // delivered after the switch latency only, mirroring local IPC.
@@ -230,7 +241,9 @@ func (n *Network) Send(m *Message) sim.Time {
 	}
 	now := n.k.Now()
 	src, dst := &n.nics[m.Src], &n.nics[m.Dst]
+	esrc, edst, ekind := int(m.Src), int(m.Dst), uint8(m.Kind)
 
+	n.bus.Emit(event.NetEnqueue(esrc, edst, ekind, m.Size, m.Seq))
 	src.stats.MsgsSent++
 	src.stats.BytesSent += int64(m.Size)
 	n.kindMsgs[m.Kind]++
@@ -240,7 +253,8 @@ func (n *Network) Send(m *Message) sim.Time {
 		at := now + n.cfg.SwitchLatency
 		dst.stats.MsgsRecv++
 		dst.stats.BytesRecv += int64(m.Size)
-		n.k.At(at, func() { n.deliver(m) })
+		n.bus.Emit(event.NetTransmit(esrc, edst, ekind, at, 0))
+		n.deliverAt(at, m)
 		return at
 	}
 
@@ -250,7 +264,10 @@ func (n *Network) Send(m *Message) sim.Time {
 	// Sender-side link. A stalled NIC holds traffic until its window ends.
 	outStart := max(now, src.outBusyUntil)
 	if n.rng != nil {
-		outStart = f.stallEnd(m.Src, outStart)
+		if stalled := f.stallEnd(m.Src, outStart); stalled != outStart {
+			outStart = stalled
+			n.bus.Emit(event.NetFault(esrc, edst, ekind, event.FaultStall))
+		}
 	}
 	outEnd := outStart + ser
 
@@ -260,13 +277,17 @@ func (n *Network) Send(m *Message) sim.Time {
 	// Receiver-side link (store-and-forward from the switch).
 	inStart := max(atSwitchOut, dst.inBusyUntil)
 	if n.rng != nil {
-		inStart = f.stallEnd(m.Dst, inStart)
+		if stalled := f.stallEnd(m.Dst, inStart); stalled != inStart {
+			inStart = stalled
+			n.bus.Emit(event.NetFault(esrc, edst, ekind, event.FaultStall))
+		}
 	}
 	inEnd := inStart + ser
 	arrive := inEnd + n.cfg.PropDelay
 
 	queueing := (outStart - now) + (inStart - atSwitchOut)
 	if !m.Reliable && n.cfg.DropThreshold > 0 && queueing > n.cfg.DropThreshold {
+		n.bus.Emit(event.NetDrop(esrc, edst, ekind, m.Size, event.DropCongestion))
 		src.stats.Dropped++
 		src.stats.BytesDropped += int64(m.Size)
 		return -1
@@ -275,6 +296,7 @@ func (n *Network) Send(m *Message) sim.Time {
 	if n.rng != nil {
 		// Brown-outs eat the frame while it occupies a faulted link.
 		if f.brownedOut(m.Src, outStart, outEnd) || f.brownedOut(m.Dst, inStart, inEnd) {
+			n.bus.Emit(event.NetDrop(esrc, edst, ekind, m.Size, event.DropBrownout))
 			src.stats.Dropped++
 			src.stats.BytesDropped += int64(m.Size)
 			src.stats.FaultDrops++
@@ -284,6 +306,7 @@ func (n *Network) Send(m *Message) sim.Time {
 		if f.Loss > 0 && n.rng.Float64() < f.Loss {
 			src.outBusyUntil = outEnd
 			dst.inBusyUntil = inEnd
+			n.bus.Emit(event.NetDrop(esrc, edst, ekind, m.Size, event.DropLoss))
 			src.stats.Dropped++
 			src.stats.BytesDropped += int64(m.Size)
 			src.stats.FaultDrops++
@@ -300,6 +323,7 @@ func (n *Network) Send(m *Message) sim.Time {
 		// Reordering: extra jitter lets later traffic overtake this frame.
 		if f.Reorder > 0 && f.MaxJitter > 0 && n.rng.Float64() < f.Reorder {
 			arrive += 1 + n.rng.Int63n(f.MaxJitter)
+			n.bus.Emit(event.NetFault(esrc, edst, ekind, event.FaultJitter))
 		}
 		// Duplication: a second copy pops out of the switch a beat later.
 		if f.Dup > 0 && n.rng.Float64() < f.Dup {
@@ -307,14 +331,16 @@ func (n *Network) Send(m *Message) sim.Time {
 			if f.Reorder > 0 && f.MaxJitter > 0 && n.rng.Float64() < f.Reorder {
 				dupAt += n.rng.Int63n(f.MaxJitter)
 			}
+			n.bus.Emit(event.NetFault(esrc, edst, ekind, event.FaultDup))
 			src.stats.Duplicated++
 			src.stats.BytesDup += int64(m.Size)
 			dst.stats.MsgsRecv++
 			dst.stats.BytesRecv += int64(m.Size)
-			n.k.At(dupAt, func() { n.deliver(m) })
+			n.deliverAt(dupAt, m)
 		}
 	}
 
-	n.k.At(arrive, func() { n.deliver(m) })
+	n.bus.Emit(event.NetTransmit(esrc, edst, ekind, arrive, queueing))
+	n.deliverAt(arrive, m)
 	return arrive
 }

@@ -1,0 +1,73 @@
+package proto
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"godsm/internal/event"
+	"godsm/internal/pagemem"
+)
+
+// InvariantError dumps are read by humans diffing two failures of the same
+// seed, so the rendering must be byte-stable: map-derived state has to come
+// out sorted no matter what order the runtime iterates the maps in.
+func TestInvariantErrorStableRendering(t *testing.T) {
+	r := newRig(2)
+	n := r.nodes[1]
+	for _, p := range []pagemem.PageID{9, 3, 17, 5} {
+		n.fetches[p] = &fetch{page: p}
+	}
+	for _, p := range []pagemem.PageID{12, 4, 8} {
+		n.pf[p] = &pfState{}
+	}
+
+	first := n.newInvariantError(7, "test failure %d", 42)
+	if want := []int64{3, 5, 9, 17}; !reflect.DeepEqual(first.InFlight, want) {
+		t.Fatalf("InFlight = %v, want sorted %v", first.InFlight, want)
+	}
+	if want := []int64{4, 8, 12}; !reflect.DeepEqual(first.Prefetching, want) {
+		t.Fatalf("Prefetching = %v, want sorted %v", first.Prefetching, want)
+	}
+
+	first.AttachEventTrace([]event.Event{
+		event.Dispatch(1, nil),
+		event.FaultRemote(1, 7, event.OutcomeNoPf, 2),
+	})
+	ref := first.Error()
+	for _, frag := range []string{
+		"test failure 42",
+		"page=7",
+		"in-flight fetches: [3 5 9 17]",
+		"outstanding prefetches: [4 8 12]",
+		"last 2 events:",
+	} {
+		if !strings.Contains(ref, frag) {
+			t.Errorf("rendering lacks %q:\n%s", frag, ref)
+		}
+	}
+
+	// Rebuild the error many times from the same node state: every capture
+	// must render identically despite randomized map iteration order.
+	for i := 0; i < 50; i++ {
+		ie := n.newInvariantError(7, "test failure %d", 42)
+		ie.Time = first.Time // capture time is the only legitimately varying field
+		ie.AttachEventTrace(first.Events)
+		if got := ie.Error(); got != ref {
+			t.Fatalf("rendering unstable on rebuild %d:\n--- first\n%s\n--- now\n%s", i, ref, got)
+		}
+	}
+}
+
+// AttachEventTrace must be first-writer-wins: the innermost kernel that
+// catches the panic owns the history.
+func TestAttachEventTraceFirstWins(t *testing.T) {
+	ie := &InvariantError{Node: 0, Page: -1, Msg: "x"}
+	a := []event.Event{event.Dispatch(1, nil)}
+	b := []event.Event{event.Dispatch(2, nil), event.Dispatch(3, nil)}
+	ie.AttachEventTrace(a)
+	ie.AttachEventTrace(b)
+	if len(ie.Events) != 1 {
+		t.Fatalf("second attach overwrote the trace: %d events", len(ie.Events))
+	}
+}

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"godsm/internal/event"
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
@@ -28,12 +29,11 @@ func (n *Node) Fault(p pagemem.PageID, onValid func()) {
 	if len(missing) == 0 {
 		// Everything needed is already local (prefetch diff cache): apply
 		// without any network traffic. This is the paper's "pf-hit".
+		outcome := event.OutcomeNoPf
 		if pfst != nil {
-			n.St.FaultPfHit++
-		} else {
-			n.St.FaultNoPf++
+			outcome = event.OutcomePfHit
 		}
-		n.St.CacheHits++
+		n.bus.Emit(event.FaultLocal(n.ID, int64(p), outcome))
 		cost := n.C.FaultEntry + n.applyPending(p)
 		done := n.CPU.Service(cost, sim.CatDSM)
 		n.K.At(done, onValid)
@@ -41,17 +41,17 @@ func (n *Node) Fault(p pagemem.PageID, onValid func()) {
 	}
 
 	// Classify the fault for Figure 3.
+	var outcome int64
 	switch {
 	case pfst == nil:
-		n.St.FaultNoPf++
+		outcome = event.OutcomeNoPf
 	case anyOutside(missing, pfst.requested):
-		n.St.FaultPfInvalided++
+		outcome = event.OutcomePfInvalided
 	default:
-		n.St.FaultPfLate++
+		outcome = event.OutcomePfLate
 	}
+	n.bus.Emit(event.FaultRemote(n.ID, int64(p), outcome, len(missing)))
 
-	n.trace("fault page=%d missing=%v", p, missing)
-	n.St.Misses++
 	f := &fetch{
 		page:    p,
 		needed:  make(map[lrc.IntervalID]bool, len(missing)),
@@ -183,7 +183,7 @@ func (n *Node) handleDiffReply(rep *msgDiffReply) {
 	cost := n.applyPending(f.page)
 	done := n.CPU.Service(cost, sim.CatDSM)
 	delete(n.fetches, f.page)
-	n.St.MissStall += done - f.start
+	n.bus.Emit(event.FetchDone(n.ID, int64(f.page), done-f.start))
 	waiters := f.waiters
 	n.K.At(done, func() {
 		for _, w := range waiters {

@@ -3,6 +3,7 @@ package proto
 import (
 	"sort"
 
+	"godsm/internal/event"
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
@@ -101,7 +102,7 @@ func (n *Node) gcFlush() {
 			n.pageInvariantf(p, "gcFlush with undiffed notice on page %d", p)
 		}
 	}
-	n.St.GCRuns++
+	n.bus.Emit(event.GCFlush(n.ID))
 }
 
 // gcSendDone reports local validation completion to the barrier manager.
@@ -120,7 +121,6 @@ func (n *Node) gcSendDone() {
 
 // gcDoneAtManager counts completions; the N-th broadcasts the flush.
 func (n *Node) gcDoneAtManager(from int) {
-	n.trace("gcDone from=%d count=%d", from, n.barrier.gcDone+1)
 	b := n.barrier
 	b.gcDone++
 	if b.gcDone < n.N {
@@ -145,7 +145,7 @@ func (n *Node) gcDoneAtManager(from int) {
 // handleGCFlush finishes the collection locally and releases the barrier.
 func (n *Node) handleGCFlush() {
 	n.gcFlush()
-	n.St.GCTime += n.K.Now() - n.gcStart
+	n.bus.Emit(event.GCDone(n.ID, n.K.Now()-n.gcStart))
 	cb := n.gcResume
 	n.gcResume = nil
 	if cb == nil {
@@ -158,7 +158,7 @@ func (n *Node) handleGCFlush() {
 // gcBegin starts the validation phase after a GC-flagged barrier release;
 // resume runs once the global collection completes.
 func (n *Node) gcBegin(resume func()) {
-	n.trace("gcBegin")
+	n.bus.Emit(event.GCBegin(n.ID))
 	n.gcResume = resume
 	n.gcStart = n.K.Now()
 	n.gcValidate(func() { n.gcSendDone() })

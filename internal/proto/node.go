@@ -13,11 +13,11 @@ package proto
 import (
 	"sort"
 
+	"godsm/internal/event"
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
 	"godsm/internal/sim"
-	"godsm/internal/stats"
 )
 
 // Node is one processor's protocol engine.
@@ -28,7 +28,7 @@ type Node struct {
 	K   *sim.Kernel
 	CPU *sim.CPU
 	C   *Costs
-	St  *stats.Node
+	bus *event.Bus // the kernel's event bus; counters and traces derive from it
 
 	// Send transmits a message on the simulated network; injected by the
 	// cluster wiring. Returns the delivery time or -1 if dropped.
@@ -141,15 +141,17 @@ type pfState struct {
 	inflight  int                     // outstanding request messages
 }
 
-// NewNode constructs a protocol node. Wire Send before use.
-func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs, st *stats.Node) *Node {
+// NewNode constructs a protocol node. Wire Send before use. Protocol
+// occurrences are emitted on k's event bus; subscribe a stats.Collector to
+// derive per-node counters.
+func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs) *Node {
 	nd := &Node{
 		ID:      id,
 		N:       n,
 		K:       k,
 		CPU:     cpu,
 		C:       c,
-		St:      st,
+		bus:     k.Bus(),
 		Store:   pagemem.NewStore(),
 		vc:      lrc.NewVC(n),
 		ivs:     make([][]*lrc.Interval, n),
@@ -210,11 +212,8 @@ func (n *Node) EnsureWritable(p pagemem.PageID) {
 		return
 	}
 	n.Store.MakeTwin(p)
-	if Trace != nil {
-		n.trace("twin page=%d", p)
-	}
+	n.bus.Emit(event.Twin(n.ID, int64(p)))
 	ps.twinned = true
-	n.St.TwinsMade++
 	n.pendingNotices = append(n.pendingNotices, p)
 	n.CPU.Service(n.C.TwinMake, sim.CatDSM)
 }
@@ -236,9 +235,7 @@ func (n *Node) closeInterval() *lrc.Interval {
 		VC:    n.vc.Clone(),
 		Pages: pages,
 	}
-	if Trace != nil {
-		n.trace("closeInterval %v pages=%v vc=%v", iv.ID, iv.Pages, iv.VC)
-	}
+	n.bus.Emit(event.IntervalClose(n.ID, iv.ID.Seq, len(iv.Pages)))
 	n.ivs[n.ID] = append(n.ivs[n.ID], iv)
 	n.ownSinceBarrier = append(n.ownSinceBarrier, iv)
 	for _, p := range pages {
@@ -313,9 +310,7 @@ func (n *Node) recordInterval(iv *lrc.Interval) sim.Time {
 		return 0
 	}
 	n.ivs[q][idx] = iv
-	if Trace != nil {
-		n.trace("recordInterval %v pages=%v", iv.ID, iv.Pages)
-	}
+	n.bus.Emit(event.NoticeIn(n.ID, iv.ID.Node, iv.ID.Seq, len(iv.Pages)))
 	n.invalidate(iv)
 	return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
 }
@@ -348,9 +343,7 @@ func (n *Node) recordDeferred(iv *lrc.Interval) sim.Time {
 		return 0 // already recorded (and invalidated) through a sync path
 	}
 	n.ivs[q][idx] = iv
-	if Trace != nil {
-		n.trace("recordDeferred %v pages=%v", iv.ID, iv.Pages)
-	}
+	n.bus.Emit(event.NoticeIn(n.ID, iv.ID.Node, iv.ID.Seq, len(iv.Pages)))
 	if n.deferredSet == nil {
 		n.deferredSet = make(map[lrc.IntervalID]bool)
 	}
@@ -461,17 +454,14 @@ func (n *Node) makeOwnDiff(p pagemem.PageID) sim.Time {
 	twin := n.Store.Twin(p)
 	frame := n.Store.Frame(p)
 	d := pagemem.MakeDiff(p, twin, frame)
-	if Trace != nil {
-		db := 0
-		if d != nil {
-			db = d.DataBytes()
-		}
-		n.trace("makeOwnDiff page=%d bytes=%d", p, db)
+	db := 0
+	if d != nil {
+		db = d.DataBytes()
 	}
+	n.bus.Emit(event.DiffMake(n.ID, int64(p), db))
 	cost := n.C.DiffMake + sim.Time(n.C.DiffScanNs*float64(pagemem.PageSize))
 	n.Store.DropTwin(p)
 	ps.twinned = false
-	n.St.DiffsMade++
 
 	// Attribute the diff to the undiffed notice. If the page was twinned
 	// during the still-open interval (no closed notice yet), close the
@@ -529,12 +519,9 @@ func (n *Node) applyPending(p pagemem.PageID) sim.Time {
 				n.ID, p, iv.ID)
 		}
 		if d != nil && len(d.Runs) > 0 {
-			if Trace != nil {
-				n.trace("apply %v page=%d bytes=%d", iv.ID, p, d.DataBytes())
-			}
+			n.bus.Emit(event.DiffApply(n.ID, int64(p), d.DataBytes()))
 			d.Apply(frame)
 			cost += n.C.DiffApply + sim.Time(n.C.ApplyNs*float64(d.DataBytes()))
-			n.St.DiffsApplied++
 		} else {
 			cost += n.C.DiffApply / 2
 		}
@@ -608,15 +595,5 @@ func (n *Node) dispatch(m *netsim.Message) {
 		n.handleGCFlush()
 	default:
 		n.invariantf("node %d: unknown message payload %T (kind %s)", n.ID, m.Payload, KindName(m.Kind))
-	}
-}
-
-// Trace, when non-nil, receives a line for every protocol event at this
-// node (debugging aid; no stable format).
-var Trace func(node int, format string, args ...any)
-
-func (n *Node) trace(format string, args ...any) {
-	if Trace != nil {
-		Trace(n.ID, format, args...)
 	}
 }

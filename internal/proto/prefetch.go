@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"godsm/internal/event"
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
@@ -18,32 +19,33 @@ import (
 // It returns the number of request messages issued (0 for a dropped
 // prefetch), which the caller can use for pacing decisions.
 func (n *Node) Prefetch(p pagemem.PageID) int {
-	n.St.PfCalls++
+	n.bus.Emit(event.PfCall(n.ID, int64(p)))
 
 	// Section 5.1: optional throttling (used for RADIX) discards a
 	// fraction of dynamic prefetches to relieve the network.
 	if n.ThrottlePf > 0 {
 		n.pfCounter++
 		if n.pfCounter%n.ThrottlePf == 0 {
+			n.bus.Emit(event.PfThrottle(n.ID, int64(p)))
 			n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
 			return 0
 		}
 	}
 
 	if n.PageValid(p) || n.fetches[p] != nil {
-		n.St.PfUnnecessary++
+		n.bus.Emit(event.PfUnnecessary(n.ID, int64(p)))
 		n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
 		return 0
 	}
 	if st, ok := n.pf[p]; ok && st.inflight > 0 {
-		n.St.PfUnnecessary++
+		n.bus.Emit(event.PfUnnecessary(n.ID, int64(p)))
 		n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
 		return 0
 	}
 	missing := n.missingDiffs(p)
 	if len(missing) == 0 {
 		// Invalid but fully cached already — nothing to request.
-		n.St.PfUnnecessary++
+		n.bus.Emit(event.PfUnnecessary(n.ID, int64(p)))
 		n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
 		return 0
 	}
@@ -70,14 +72,14 @@ func (n *Node) Prefetch(p pagemem.PageID) int {
 		})
 	}
 	st.inflight += len(msgs)
-	n.St.PfMsgs += int64(len(msgs))
+	n.bus.Emit(event.PfIssue(n.ID, int64(p), len(msgs)))
 	// The paper charges ~140 µs of software overhead per prefetch that
 	// generates remote messages; additional messages to further writers of
 	// the same page cost one send each.
 	cost := n.C.PfIssue + sim.Time(len(msgs)-1)*n.C.MsgSend
 	done := n.CPU.Service(cost, sim.CatPrefetchOv)
 	for _, m := range msgs {
-		n.sendUnreliable(done, m, func() { n.St.PfReqDropped++ })
+		n.sendUnreliable(done, m, func() { n.bus.Emit(event.PfReqDrop(n.ID, int64(p))) })
 	}
 	return len(msgs)
 }

@@ -1,0 +1,79 @@
+package proto
+
+import (
+	"testing"
+
+	"godsm/internal/netsim"
+	"godsm/internal/pagemem"
+	"godsm/internal/sim"
+)
+
+// Prefetch traffic is unreliable by design, and the report splits its losses
+// by direction: a dropped request is charged to the prefetching node, a
+// dropped reply to the node that served it. Exercise both directions with
+// deterministic brown-out windows and check the split lands on the right
+// counters.
+func TestPrefetchDropSplit(t *testing.T) {
+	const (
+		t1 = 100 * sim.Millisecond // phase 1: prefetch whose request dies
+		t2 = 150 * sim.Millisecond // phase 2: prefetch whose reply dies
+		t3 = 300 * sim.Millisecond // demand faults recover both pages
+	)
+	pageA := pagemem.Addr(1 * pagemem.PageSize)
+	pageB := pagemem.Addr(2 * pagemem.PageSize)
+	r := newFaultRig(2, netsim.FaultPlan{
+		Brownouts: []netsim.LinkFault{
+			// Phase 1: node 1's link is dark while its request is on the wire.
+			{Node: 1, From: t1, To: t1 + 10*sim.Millisecond},
+			// Phase 2: node 0's link goes dark only after the request has
+			// already landed (its CPU is kept busy, delaying the reply into
+			// the window).
+			{Node: 0, From: t2 + 4*sim.Millisecond, To: t2 + 20*sim.Millisecond},
+		},
+	})
+
+	r.k.At(0, func() {
+		r.write(0, pageA, 3)
+		r.write(0, pageB, 7)
+	})
+	r.k.Run()
+	r.barrierAll(0)
+
+	issued1, issued2 := 0, 0
+	r.k.At(t1, func() { issued1 = r.nodes[1].Prefetch(pagemem.PageOf(pageA)) })
+	r.k.At(t2, func() {
+		// Pin node 0's CPU so its prefetch reply is serviced inside the
+		// brown-out window, while the request's wire time stays before it.
+		r.nodes[0].CPU.Service(8*sim.Millisecond, sim.CatBusy)
+		issued2 = r.nodes[1].Prefetch(pagemem.PageOf(pageB))
+	})
+	r.k.Run()
+
+	if issued1 != 1 || issued2 != 1 {
+		t.Fatalf("prefetches issued %d and %d request messages, want 1 and 1", issued1, issued2)
+	}
+	if got := r.st[1].PfReqDropped; got != 1 {
+		t.Errorf("node 1 PfReqDropped = %d, want 1 (phase-1 request died in its brown-out)", got)
+	}
+	if got := r.st[0].PfReplyDropped; got != 1 {
+		t.Errorf("node 0 PfReplyDropped = %d, want 1 (phase-2 reply died in node 0's brown-out)", got)
+	}
+	if got := r.st[0].PfReqDropped + r.st[1].PfReplyDropped; got != 0 {
+		t.Errorf("drops charged to the wrong side: node0 req=%d node1 reply=%d",
+			r.st[0].PfReqDropped, r.st[1].PfReplyDropped)
+	}
+
+	// Both prefetches were lost, so the real accesses must fall back to
+	// ordinary demand misses and still see the written values.
+	got := make(chan float64, 2)
+	r.k.At(t3, func() {
+		for _, a := range []pagemem.Addr{pageA, pageB} {
+			a := a
+			r.nodes[1].Fault(pagemem.PageOf(a), func() { got <- r.read(1, a) })
+		}
+	})
+	r.k.Run()
+	if vA, vB := <-got, <-got; vA+vB != 10 {
+		t.Fatalf("demand faults after lost prefetches read %v and %v, want 3 and 7", vA, vB)
+	}
+}

@@ -22,11 +22,12 @@ type rig struct {
 func newRig(n int) *rig {
 	r := &rig{k: sim.NewKernel(), costs: DefaultCosts()}
 	r.st = make([]stats.Node, n)
+	r.k.Bus().Subscribe(stats.NewCollector(r.st))
 	r.net = netsim.New(r.k, n, netsim.DefaultConfig(), func(m *netsim.Message) {
 		r.nodes[m.Dst].Deliver(m)
 	})
 	for i := 0; i < n; i++ {
-		nd := NewNode(i, n, r.k, sim.NewCPU(r.k), &r.costs, &r.st[i])
+		nd := NewNode(i, n, r.k, sim.NewCPU(r.k), &r.costs)
 		nd.Send = r.net.Send
 		r.nodes = append(r.nodes, nd)
 	}

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"godsm/internal/event"
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
@@ -64,11 +65,11 @@ func (n *Node) AcquireLock(id int, onGranted func()) (immediate bool) {
 	}
 	if ls.owned && !n.NoTokenCache {
 		ls.held = true
-		n.St.LocalLockAcqs++
+		n.bus.Emit(event.LockLocal(n.ID, id))
 		return true
 	}
 
-	n.St.RemoteLockAcqs++
+	n.bus.Emit(event.LockRemote(n.ID, id))
 	ls.waiting = onGranted
 	ls.reqStart = n.K.Now()
 	ls.mySeq++
@@ -92,7 +93,6 @@ func (n *Node) AcquireLock(id int, onGranted func()) (immediate bool) {
 // tail of the queue and forwards the request to the previous requester.
 func (n *Node) handleLockAcqAtManager(req *msgLockAcq) {
 	ls := n.lock(req.Lock)
-	n.trace("lockAcqMgr lock=%d req=%d prev=%d", req.Lock, req.Requester, ls.lastRequester)
 	prev := ls.lastRequester
 	prevSeq := ls.lastReqSeq
 	ls.lastRequester = req.Requester
@@ -121,7 +121,7 @@ func (n *Node) handleLockAcqAtManager(req *msgLockAcq) {
 // has already been returned.
 func (n *Node) handleLockForward(req *msgLockAcq) {
 	ls := n.lock(req.Lock)
-	n.trace("lockFwd lock=%d req=%d owned=%v held=%v waiting=%v pfwd=%v", req.Lock, req.Requester, ls.owned, ls.held, ls.waiting != nil, ls.pendingFwd != nil)
+	n.bus.Emit(event.LockForward(n.ID, req.Lock, req.Requester))
 	if ls.pendingFwd != nil {
 		n.invariantf("lock %d already has a pending successor", req.Lock)
 	}
@@ -160,7 +160,6 @@ func (n *Node) handleLockForward(req *msgLockAcq) {
 // in-flight) returned token.
 func (n *Node) handleLockRetry(req *msgLockAcq) {
 	ls := n.lock(req.Lock)
-	n.trace("lockRetry lock=%d req=%d owned=%v held=%v", req.Lock, req.Requester, ls.owned, ls.held)
 	if ls.owned && !ls.held {
 		n.grantLock(req)
 		return
@@ -175,7 +174,7 @@ func (n *Node) handleLockRetry(req *msgLockAcq) {
 // everything this node knows above the GC base so later manager grants are
 // consistent.
 func (n *Node) returnToken(id int) {
-	n.trace("returnToken lock=%d", id)
+	n.bus.Emit(event.LockReturn(n.ID, id))
 	ls := n.lock(id)
 	ls.owned = false
 	mgr := n.lockManager(id)
@@ -192,7 +191,6 @@ func (n *Node) returnToken(id int) {
 // handleLockReturn restores manager ownership and serves any redirected
 // request that raced with the return.
 func (n *Node) handleLockReturn(g *msgLockGrant) {
-	n.trace("lockReturn lock=%d retryq=%v", g.Lock, n.lock(g.Lock).retryQ != nil)
 	ls := n.lock(g.Lock)
 	cost := n.intake(g.Ivs, g.VC)
 	n.CPU.Service(cost, sim.CatDSM)
@@ -207,7 +205,6 @@ func (n *Node) handleLockReturn(g *msgLockGrant) {
 // grantLock transfers the token to req.Requester with piggybacked write
 // notices. The caller must own the token and the lock must be free.
 func (n *Node) grantLock(req *msgLockAcq) {
-	n.trace("grantLock lock=%d to=%d myvc=%v", req.Lock, req.Requester, n.vc)
 	ls := n.lock(req.Lock)
 	ls.owned = false
 	ivs := n.missingIvs(req.VC, req.Requester)
@@ -226,12 +223,11 @@ func (n *Node) handleLockGrant(g *msgLockGrant) {
 	if ls.waiting == nil {
 		n.invariantf("node %d got unexpected grant of lock %d", n.ID, g.Lock)
 	}
-	n.trace("lockGrant lock=%d vc=%v ivs=%d", g.Lock, g.VC, len(g.Ivs))
 	cost := n.intake(g.Ivs, g.VC)
 	ls.owned = true
 	ls.held = true
 	done := n.CPU.Service(cost, sim.CatDSM)
-	n.St.LockStall += done - ls.reqStart
+	n.bus.Emit(event.LockGrant(n.ID, g.Lock, done-ls.reqStart))
 	cb := ls.waiting
 	ls.waiting = nil
 	n.K.At(done, func() {
@@ -287,7 +283,7 @@ func (n *Node) Barrier(id int, onRelease func()) {
 	n.closeInterval()
 	own := n.ownSinceBarrier
 	n.ownSinceBarrier = nil
-	n.St.BarrierArrives++
+	n.bus.Emit(event.BarArrive(n.ID, id))
 
 	report := n.diffBytes
 	if n.PfHeapSharedGC {
@@ -326,7 +322,6 @@ func (n *Node) barArrive(a *msgBarArrive) {
 		n.invariantf("duplicate barrier arrival from %d", a.From)
 	}
 	b.arrivalVCs[a.From] = a.VC.Clone()
-	n.trace("barArrive from=%d diffBytes=%d thr=%d", a.From, a.DiffBytes, n.GCThreshold)
 	if n.GCThreshold > 0 && a.DiffBytes > n.GCThreshold {
 		b.gcWant = true
 	}
@@ -355,7 +350,6 @@ func (n *Node) barArrive(a *msgBarArrive) {
 	releases := b.releases
 	mgrStart := b.mgrStart
 	gc := b.gcWant
-	n.trace("barRelease-all gc=%v", gc)
 	b.arrived = 0
 	b.arrivalVCs = nil
 	b.releases = nil
@@ -374,7 +368,7 @@ func (n *Node) barArrive(a *msgBarArrive) {
 		})
 	}
 	done := n.CPU.Service(cost, sim.CatDSM)
-	n.St.BarrierStall += done - mgrStart
+	n.bus.Emit(event.BarRelease(n.ID, a.Barrier, done-mgrStart))
 	resume := func() {
 		for _, r := range releases {
 			r()
@@ -389,10 +383,9 @@ func (n *Node) barArrive(a *msgBarArrive) {
 
 // handleBarRelease completes a barrier wait on a non-manager node.
 func (n *Node) handleBarRelease(r *msgBarRelease) {
-	n.trace("barRelease vc=%v ivs=%d gc=%v", r.VC, len(r.Ivs), r.GC)
 	cost := n.intake(r.Ivs, r.VC)
 	done := n.CPU.Service(cost, sim.CatDSM)
-	n.St.BarrierStall += done - n.barStart
+	n.bus.Emit(event.BarRelease(n.ID, r.Barrier, done-n.barStart))
 	cb := n.barWait
 	n.barWait = nil
 	if r.GC {

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"godsm/internal/event"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
 )
@@ -93,7 +94,7 @@ func (n *Node) xmit(m *netsim.Message) {
 	if n.xp == nil || m.Src == m.Dst || !sequenced(m.Kind) {
 		//dsmvet:allow chargecost — transport choke point; the charge was paid at the sendAfter call site
 		if n.Send(m) < 0 && m.Kind == KindPfReply {
-			n.St.PfReplyDropped++
+			n.bus.Emit(event.PfReplyDrop(n.ID, int64(m.Payload.(*msgDiffReply).Page)))
 		}
 		return
 	}
@@ -127,22 +128,19 @@ func (n *Node) retxFire(q int) {
 		return
 	}
 	p.retries++
-	n.St.Timeouts++
+	n.bus.Emit(event.XpTimeout(n.ID, q, p.retries))
 	if p.retries > xportRetryCap {
 		n.invariantf("node %d: %d consecutive retransmission timeouts to node %d (seq %d, kind %s); peer unreachable",
 			n.ID, p.retries-1, q, p.unacked[0].Seq, KindName(p.unacked[0].Kind))
 	}
 	m := p.unacked[0]
-	n.St.Retransmits++
 	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
 	n.K.At(done, func() { n.transmit(p, m) })
 	p.rto *= 2
 	if p.rto > xportRTOMax {
 		p.rto = xportRTOMax
 	}
-	if p.rto > n.St.MaxBackoff {
-		n.St.MaxBackoff = p.rto
-	}
+	n.bus.Emit(event.XpRetransmit(n.ID, q, m.Seq, p.rto))
 	p.retx.Arm(p.rto)
 }
 
@@ -153,7 +151,7 @@ func (n *Node) ackFire(q int) {
 		return
 	}
 	p.ackOwed = false
-	n.St.AcksSent++
+	n.bus.Emit(event.XpAck(n.ID, q))
 	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
 	n.K.At(done, func() {
 		//dsmvet:allow chargecost — transport choke point; the pure ack's MsgSend is charged immediately above
@@ -221,7 +219,7 @@ func (n *Node) xpReceive(m *netsim.Message) {
 	case m.Seq < p.expect:
 		// Already delivered: the sender retransmitted because our ack was
 		// lost or late. Re-ack, suppress.
-		n.St.DupSuppressed++
+		n.bus.Emit(event.XpDup(n.ID, int(m.Src), m.Seq))
 		n.scheduleAck(p)
 	case m.Seq == p.expect:
 		p.expect++
@@ -241,7 +239,7 @@ func (n *Node) xpReceive(m *netsim.Message) {
 			p.oob = make(map[uint64]*netsim.Message)
 		}
 		if _, dup := p.oob[m.Seq]; dup {
-			n.St.DupSuppressed++
+			n.bus.Emit(event.XpDup(n.ID, int(m.Src), m.Seq))
 		} else {
 			p.oob[m.Seq] = m
 		}

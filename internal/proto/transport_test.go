@@ -15,13 +15,14 @@ import (
 func newFaultRig(n int, plan netsim.FaultPlan) *rig {
 	r := &rig{k: sim.NewKernel(), costs: DefaultCosts()}
 	r.st = make([]stats.Node, n)
+	r.k.Bus().Subscribe(stats.NewCollector(r.st))
 	cfg := netsim.DefaultConfig()
 	cfg.Faults = plan
 	r.net = netsim.New(r.k, n, cfg, func(m *netsim.Message) {
 		r.nodes[m.Dst].Deliver(m)
 	})
 	for i := 0; i < n; i++ {
-		nd := NewNode(i, n, r.k, sim.NewCPU(r.k), &r.costs, &r.st[i])
+		nd := NewNode(i, n, r.k, sim.NewCPU(r.k), &r.costs)
 		nd.Send = r.net.Send
 		nd.EnableTransport()
 		r.nodes = append(r.nodes, nd)
@@ -120,7 +121,7 @@ func TestTransportRetryCapRaisesInvariant(t *testing.T) {
 		if len(ie.Events) == 0 {
 			t.Fatal("kernel did not attach the dispatch trace")
 		}
-		if !strings.Contains(ie.Error(), "dispatched events") {
+		if !strings.Contains(ie.Error(), "events:") {
 			t.Fatalf("rendering lacks the event trace:\n%s", ie.Error())
 		}
 	}()

@@ -12,8 +12,8 @@ package sim
 
 import (
 	"fmt"
-	"reflect"
-	"runtime"
+
+	"godsm/internal/event"
 )
 
 // Time is virtual time in nanoseconds since the start of the simulation.
@@ -27,7 +27,7 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
-type event struct {
+type schedEvent struct {
 	at  Time
 	seq uint64
 	fn  func()
@@ -42,7 +42,7 @@ type event struct {
 // that interface boxes the event into an interface value, which allocates
 // on the simulator's hottest path (one push and one pop per event). Events
 // also stay in a reusable flat slice whose capacity persists across pops.
-type eventHeap []event
+type eventHeap []schedEvent
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -51,9 +51,9 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) peek() event { return h[0] }
+func (h eventHeap) peek() schedEvent { return h[0] }
 
-func (h *eventHeap) pushEvent(e event) {
+func (h *eventHeap) pushEvent(e schedEvent) {
 	hs := append(*h, e)
 	// Sift up.
 	for i := len(hs) - 1; i > 0; {
@@ -67,12 +67,12 @@ func (h *eventHeap) pushEvent(e event) {
 	*h = hs
 }
 
-func (h *eventHeap) popEvent() event {
+func (h *eventHeap) popEvent() schedEvent {
 	hs := *h
 	top := hs[0]
 	n := len(hs) - 1
 	hs[0] = hs[n]
-	hs[n] = event{} // release the closure so finished events can be GC'd
+	hs[n] = schedEvent{} // release the closure so finished events can be GC'd
 	hs = hs[:n]
 	// Sift down.
 	for i := 0; ; {
@@ -93,24 +93,11 @@ func (h *eventHeap) popEvent() event {
 	return top
 }
 
-// dispatchRing is the number of recently dispatched events the kernel
-// remembers for failure dumps (see RecentDispatches). Power of two.
-const dispatchRing = 32
-
-// DispatchRecord describes one dispatched event, for post-mortem dumps: the
-// virtual time and sequence number of the event and the name of the function
-// it ran. Function names are resolved lazily, only when a dump is built.
-type DispatchRecord struct {
-	At  Time
-	Seq uint64
-	Fn  string
-}
-
 // EventTraceAttacher is implemented by panic values (such as the protocol
-// layer's invariant errors) that want the kernel's recent dispatch history
+// layer's invariant errors) that want the bus's recent event history
 // attached when they unwind through the run loop.
 type EventTraceAttacher interface {
-	AttachEventTrace([]DispatchRecord)
+	AttachEventTrace([]event.Event)
 }
 
 // Kernel is a discrete-event simulation engine. The zero value is not
@@ -125,20 +112,26 @@ type Kernel struct {
 	stopped bool
 	limit   Time // if > 0, Run stops once the clock would pass this
 
-	ring  [dispatchRing]event // most recently dispatched events
-	ringN uint64              // total events dispatched
+	bus *event.Bus // per-kernel event bus; every layer emits through it
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		control: make(chan struct{}),
 		procs:   make(map[*Proc]struct{}),
 	}
+	k.bus = event.NewBus(func() int64 { return k.now })
+	return k
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// Bus returns the kernel's event bus. All layers of a simulation share it:
+// they emit at the point an occurrence happens, and sinks (stats
+// collectors, trace writers) derive everything else from the emissions.
+func (k *Kernel) Bus() *event.Bus { return k.bus }
 
 // Pending reports the number of scheduled events.
 func (k *Kernel) Pending() int { return len(k.events) }
@@ -151,7 +144,7 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled at %d ns, before now (%d ns)", t, k.now))
 	}
 	k.seq++
-	k.events.pushEvent(event{at: t, seq: k.seq, fn: fn})
+	k.events.pushEvent(schedEvent{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -165,7 +158,7 @@ func (k *Kernel) atCancelable(t Time, fn func(), dead *bool) {
 		panic(fmt.Sprintf("sim: event scheduled at %d ns, before now (%d ns)", t, k.now))
 	}
 	k.seq++
-	k.events.pushEvent(event{at: t, seq: k.seq, fn: fn, dead: dead})
+	k.events.pushEvent(schedEvent{at: t, seq: k.seq, fn: fn, dead: dead})
 }
 
 // Timer is a cancelable, reschedulable one-shot virtual-time timer, used by
@@ -192,6 +185,7 @@ func (t *Timer) Arm(d Time) {
 	dead := new(bool)
 	t.dead = dead
 	t.at = t.k.now + d
+	t.k.bus.Emit(event.TimerArm(t.at, t.fn))
 	t.k.atCancelable(t.at, func() {
 		t.dead = nil
 		t.fn()
@@ -203,6 +197,7 @@ func (t *Timer) Stop() {
 	if t.dead != nil {
 		*t.dead = true
 		t.dead = nil
+		t.k.bus.Emit(event.TimerStop(t.fn))
 	}
 }
 
@@ -231,7 +226,7 @@ func (k *Kernel) Run() Time {
 	defer func() {
 		if r := recover(); r != nil {
 			if a, ok := r.(EventTraceAttacher); ok {
-				a.AttachEventTrace(k.RecentDispatches())
+				a.AttachEventTrace(k.bus.Recent())
 			}
 			panic(r)
 		}
@@ -245,35 +240,12 @@ func (k *Kernel) Run() Time {
 			continue // cancelled timer firing: no clock advance
 		}
 		k.now = e.at
-		k.ring[k.ringN&(dispatchRing-1)] = e
-		k.ringN++
+		k.bus.Emit(event.Dispatch(e.seq, e.fn))
 		e.fn()
 	}
 	k.running = false
 	k.shutdown()
 	return k.now
-}
-
-// RecentDispatches returns the last dispatched events, oldest first, with
-// the name of each event's function resolved for readability.
-func (k *Kernel) RecentDispatches() []DispatchRecord {
-	n := k.ringN
-	count := uint64(dispatchRing)
-	if n < count {
-		count = n
-	}
-	out := make([]DispatchRecord, 0, count)
-	for i := n - count; i < n; i++ {
-		e := k.ring[i&(dispatchRing-1)]
-		name := "?"
-		if e.fn != nil {
-			if f := runtime.FuncForPC(reflect.ValueOf(e.fn).Pointer()); f != nil {
-				name = f.Name()
-			}
-		}
-		out = append(out, DispatchRecord{At: e.at, Seq: e.seq, Fn: name})
-	}
-	return out
 }
 
 // shutdown unwinds every still-parked process goroutine so that a finished

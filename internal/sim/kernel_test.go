@@ -18,7 +18,7 @@ func TestEventHeapAgainstSortedReference(t *testing.T) {
 	}
 	var want []key
 	for i := 0; i < 5000; i++ {
-		e := event{at: Time(rng.Intn(64)), seq: uint64(i)}
+		e := schedEvent{at: Time(rng.Intn(64)), seq: uint64(i)}
 		h.pushEvent(e)
 		want = append(want, key{e.at, e.seq})
 		// Interleave pops so the heap shrinks and regrows.
@@ -63,7 +63,7 @@ func TestEventSchedulingAllocs(t *testing.T) {
 	}
 	got := testing.AllocsPerRun(100, func() {
 		for i := 0; i < 32; i++ {
-			k.events.pushEvent(event{at: Time(i), fn: fn})
+			k.events.pushEvent(schedEvent{at: Time(i), fn: fn})
 		}
 		for len(k.events) > 0 {
 			k.events.popEvent()

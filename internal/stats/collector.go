@@ -1,0 +1,94 @@
+package stats
+
+import "godsm/internal/event"
+
+// Collector derives per-node protocol counters from the event bus. It is
+// the only writer of Node counters in a simulation: protocol and core code
+// emit events at the point something happens, and the collector folds them
+// into the counter set, so the counters and any trace of the same run can
+// never disagree.
+type Collector struct {
+	nodes []Node // indexed by node id; owned by the caller
+}
+
+// NewCollector returns a collector folding events into nodes. The slice is
+// shared with the caller (typically core.System's NodeSt), not copied.
+func NewCollector(nodes []Node) *Collector {
+	return &Collector{nodes: nodes}
+}
+
+// Event implements event.Sink.
+func (c *Collector) Event(e event.Event) {
+	if e.Node < 0 || int(e.Node) >= len(c.nodes) {
+		return
+	}
+	n := &c.nodes[e.Node]
+	switch e.Kind {
+	case event.KindFaultLocal:
+		n.CacheHits++
+		if e.Arg == event.OutcomePfHit {
+			n.FaultPfHit++
+		} else {
+			n.FaultNoPf++
+		}
+	case event.KindFaultRemote:
+		n.Misses++
+		switch e.Arg {
+		case event.OutcomeNoPf:
+			n.FaultNoPf++
+		case event.OutcomePfLate:
+			n.FaultPfLate++
+		case event.OutcomePfInvalided:
+			n.FaultPfInvalided++
+		}
+	case event.KindFetchDone:
+		n.MissStall += e.Arg
+	case event.KindDiffMake:
+		n.DiffsMade++
+	case event.KindDiffApply:
+		n.DiffsApplied++
+	case event.KindTwin:
+		n.TwinsMade++
+	case event.KindLockLocal:
+		n.LocalLockAcqs++
+	case event.KindLockRemote:
+		n.RemoteLockAcqs++
+	case event.KindLockGrant:
+		n.LockStall += e.Arg
+	case event.KindBarArrive:
+		n.BarrierArrives++
+	case event.KindBarRelease:
+		n.BarrierStall += e.Arg
+	case event.KindPfCall:
+		n.PfCalls++
+	case event.KindPfUnnecessary:
+		n.PfUnnecessary++
+	case event.KindPfIssue:
+		n.PfMsgs += e.Arg
+	case event.KindPfReqDrop:
+		n.PfReqDropped++
+	case event.KindPfReplyDrop:
+		n.PfReplyDropped++
+	case event.KindGCFlush:
+		n.GCRuns++
+	case event.KindGCDone:
+		n.GCTime += e.Arg
+	case event.KindXpTimeout:
+		n.Timeouts++
+	case event.KindXpRetransmit:
+		n.Retransmits++
+		if e.Arg > n.MaxBackoff {
+			n.MaxBackoff = e.Arg
+		}
+	case event.KindXpAck:
+		n.AcksSent++
+	case event.KindXpDup:
+		n.DupSuppressed++
+	case event.KindThreadSwitch:
+		n.CtxSwitches++
+	case event.KindThreadBlock:
+		n.Blocks++
+		n.Runs++
+		n.RunTotal += e.Arg
+	}
+}
