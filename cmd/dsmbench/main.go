@@ -4,7 +4,7 @@
 //
 //	dsmbench [-exp all|fig1|fig2|table1|fig3|fig4|table2|fig5|...]
 //	         [-scale unit|small|paper] [-procs N] [-apps FFT,SOR,...]
-//	         [-workers N] [-json FILE] [-verify]
+//	         [-protocol lrc|erc|hlrc] [-workers N] [-json FILE] [-verify]
 //
 // Each experiment prints the same rows/series as the corresponding artifact
 // in "Comparative Evaluation of Latency Tolerance Techniques for Software
@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"godsm/dsm"
 	"godsm/internal/apps"
 	"godsm/internal/harness"
 )
@@ -62,6 +63,7 @@ func main() {
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	appList := flag.String("apps", "", "comma-separated application subset (default all)")
+	protocol := flag.String("protocol", "", "coherence protocol for every run: "+strings.Join(dsm.Protocols(), ", ")+" (default lrc; the protocols experiment always compares all)")
 	verify := flag.Bool("verify", false, "verify application output against sequential goldens")
 	workers := flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "BENCH_dsmbench.json", "write a machine-readable timing summary here ('' = off)")
@@ -71,7 +73,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify, Workers: *workers}
+	if *protocol != "" {
+		known := false
+		for _, name := range dsm.Protocols() {
+			if name == *protocol {
+				known = true
+			}
+		}
+		if !known {
+			fatal(fmt.Errorf("unknown protocol %q (registered: %v)", *protocol, dsm.Protocols()))
+		}
+	}
+	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify, Workers: *workers, Protocol: *protocol}
 	if *appList != "" {
 		for _, a := range strings.Split(*appList, ",") {
 			name := strings.TrimSpace(a)

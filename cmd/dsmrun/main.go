@@ -6,8 +6,14 @@
 //
 //	dsmrun -app SOR [-procs 8] [-threads 1] [-prefetch]
 //	       [-switch-miss] [-switch-sync] [-scale unit|small|paper]
+//	       [-protocol lrc|erc|hlrc] [-gc-threshold N]
 //	       [-throttle N] [-verify] [-workers N]
 //	       [-loss P] [-dup P] [-fault-seed N] [-trace out.json]
+//
+// -protocol selects the coherence backend from the protocol registry
+// (default lrc, the TreadMarks baseline). Unknown names and knob
+// combinations the backend cannot honor (e.g. hlrc with -gc-threshold,
+// which only the diff-based backends use) are rejected up front.
 //
 // A nonzero -loss or -dup enables deterministic fault injection (seeded by
 // -fault-seed) and automatically switches the protocol onto its reliable
@@ -49,6 +55,8 @@ func main() {
 	swMiss := flag.Bool("switch-miss", false, "switch threads on remote misses")
 	swSync := flag.Bool("switch-sync", false, "switch threads on synchronization stalls")
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
+	protocol := flag.String("protocol", "", "coherence protocol: "+strings.Join(dsm.Protocols(), ", ")+" (default lrc)")
+	gcThreshold := flag.Int64("gc-threshold", 0, "diff-GC trigger in bytes at barriers, diff-based protocols only (0 = off)")
 	throttle := flag.Int("throttle", 0, "drop every k-th prefetch (0 = off)")
 	verify := flag.Bool("verify", false, "verify output against the sequential golden")
 	kinds := flag.Bool("kinds", false, "print per-message-kind traffic table")
@@ -113,7 +121,12 @@ func main() {
 	cfg.Prefetch = *prefetch
 	cfg.SwitchOnMiss = *swMiss
 	cfg.SwitchOnSync = *swSync || *threads > 1
+	cfg.Protocol = *protocol
+	cfg.GCThreshold = *gcThreshold
 	cfg.ThrottlePf = *throttle
+	if err := validateProtocol(cfg); err != nil {
+		usageErr("%v", err)
+	}
 	if faultsOn {
 		cfg.Net.Faults = dsm.FaultPlan{Seed: *faultSeed, Loss: *loss, Dup: *dup}
 	}
@@ -265,11 +278,24 @@ func printReport(app string, r *dsm.Report) {
 	}
 	fmt.Printf("protocol: %d twins, %d diffs made, %d diffs applied\n",
 		n.TwinsMade, n.DiffsMade, n.DiffsApplied)
+	if n.HomeFlushes+n.HomeFetches > 0 {
+		fmt.Printf("home:     %d diff flushes (%d KB), %d page fetches (%d KB)\n",
+			n.HomeFlushes, n.HomeFlushBytes/1024, n.HomeFetches, n.HomeFetchBytes/1024)
+	}
 	if n.Retransmits+n.Timeouts+n.AcksSent+n.DupSuppressed > 0 {
 		fmt.Printf("transport: %d retransmits (%d timeouts, max RTO %d ms), %d acks, %d duplicates suppressed, %d/%d pf req/reply dropped\n",
 			n.Retransmits, n.Timeouts, n.MaxBackoff/sim.Millisecond,
 			n.AcksSent, n.DupSuppressed, n.PfReqDropped, n.PfReplyDropped)
 	}
+}
+
+// validateProtocol checks the protocol-selection flags against the registry
+// before anything simulates: -protocol must name a registered backend, and
+// the backend must accept the knob combination (hlrc, for example, has no
+// diff GC, so it rejects a nonzero -gc-threshold). Split from main so the
+// usage-error table test can exercise it directly.
+func validateProtocol(cfg dsm.Config) error {
+	return dsm.ValidateProtocolConfig(cfg)
 }
 
 func fatal(err error) {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"godsm/dsm"
+)
+
+// TestValidateProtocol exercises the up-front protocol flag validation:
+// registered names pass (with any knobs they support), unknown names fail
+// with the registered list, and knob combinations a backend cannot honor
+// are rejected before anything simulates.
+func TestValidateProtocol(t *testing.T) {
+	cases := []struct {
+		name        string
+		protocol    string
+		gcThreshold int64
+		eagerRC     bool
+		wantErr     []string // substrings of the error; empty = valid
+	}{
+		{name: "default is lrc"},
+		{name: "explicit lrc", protocol: "lrc"},
+		{name: "erc", protocol: "erc"},
+		{name: "hlrc", protocol: "hlrc"},
+		{name: "lrc with gc threshold", protocol: "lrc", gcThreshold: 1 << 20},
+		{name: "default with gc threshold", gcThreshold: 1 << 20},
+		{name: "legacy eager-rc switch maps to erc", eagerRC: true},
+		{name: "eager-rc switch with matching protocol", protocol: "erc", eagerRC: true},
+		{name: "unknown protocol lists registered ones", protocol: "treadmarks",
+			wantErr: []string{"unknown protocol", "treadmarks", "erc", "hlrc", "lrc"}},
+		{name: "hlrc rejects gc threshold", protocol: "hlrc", gcThreshold: 1 << 20,
+			wantErr: []string{"hlrc", "GCThreshold"}},
+		{name: "hlrc rejects shared pf-heap gc", protocol: "hlrc", eagerRC: false,
+			wantErr: []string{"hlrc", "PfHeapSharedGC"}},
+		{name: "eager-rc switch conflicts with hlrc", protocol: "hlrc", eagerRC: true,
+			wantErr: []string{"EagerRC", "hlrc"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := dsm.DefaultConfig()
+			cfg.Protocol = tc.protocol
+			cfg.GCThreshold = tc.gcThreshold
+			cfg.EagerRC = tc.eagerRC
+			if tc.name == "hlrc rejects shared pf-heap gc" {
+				cfg.PfHeapSharedGC = true
+			}
+			err := validateProtocol(cfg)
+			if len(tc.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", tc.wantErr)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}

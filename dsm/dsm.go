@@ -118,3 +118,18 @@ type LinkFault = netsim.LinkFault
 
 // DefaultCosts returns the calibrated protocol CPU cost model.
 func DefaultCosts() proto.Costs { return proto.DefaultCosts() }
+
+// Protocols returns the names of the registered coherence protocols, sorted
+// ("lrc", "erc", "hlrc", ...). Set one on Config.Protocol; the empty string
+// selects the default, "lrc".
+func Protocols() []string { return proto.Names() }
+
+// ValidateProtocolConfig checks that cfg names a registered coherence
+// protocol and that the protocol accepts cfg's knob combination (for
+// example, HLRC has no diff GC, so it rejects a nonzero GCThreshold).
+// NewSystem panics on an invalid combination; front ends validate user
+// input with this first to report a plain error instead.
+func ValidateProtocolConfig(cfg Config) error {
+	_, err := core.ProtoConfig(cfg)
+	return err
+}

@@ -20,6 +20,11 @@ type Config struct {
 	Procs          int // processors (paper: 8)
 	ThreadsPerProc int // user-level threads per processor (1 = original)
 
+	// Protocol names the registered coherence backend to run ("lrc",
+	// "erc", "hlrc"). Empty selects the default "lrc" — or "erc" when the
+	// legacy EagerRC ablation switch is set.
+	Protocol string
+
 	// SwitchOnMiss makes a thread yield the processor on a remote memory
 	// miss; SwitchOnSync does the same for remote synchronization stalls.
 	// The paper's "nT" configurations set both; the combined "nTP"
@@ -102,6 +107,30 @@ type System struct {
 	snapDrops int64
 }
 
+// ProtoConfig maps the cluster Config onto the protocol engine's Config and
+// validates it against the registry: the protocol must be registered and
+// must accept the knob combination. NewSystem panics on an error; front
+// ends call this first to report user mistakes as plain errors.
+func ProtoConfig(cfg Config) (proto.Config, error) {
+	pcfg := proto.Config{
+		Protocol:       cfg.Protocol,
+		ThrottlePf:     cfg.ThrottlePf,
+		GCThreshold:    cfg.GCThreshold,
+		NoTokenCache:   cfg.NoTokenCache,
+		PfReliable:     cfg.PfReliable,
+		PfHeapSharedGC: cfg.PfHeapSharedGC,
+	}
+	if cfg.EagerRC {
+		// EagerRC predates the protocol registry; it maps to the "erc"
+		// backend and cannot combine with an explicit other protocol.
+		if cfg.Protocol != "" && cfg.Protocol != "erc" {
+			return pcfg, fmt.Errorf("EagerRC conflicts with Protocol %q", cfg.Protocol)
+		}
+		pcfg.Protocol = "erc"
+	}
+	return pcfg, proto.ValidateConfig(pcfg)
+}
+
 // NewSystem builds the cluster.
 func NewSystem(cfg Config) *System {
 	if cfg.Procs <= 0 || cfg.ThreadsPerProc <= 0 {
@@ -112,6 +141,10 @@ func NewSystem(cfg Config) *System {
 		// the CPU forever; multithreaded configurations must switch on
 		// synchronization stalls (as all of the paper's do).
 		panic("core: ThreadsPerProc > 1 requires SwitchOnSync")
+	}
+	pcfg, err := ProtoConfig(cfg)
+	if err != nil {
+		panic("core: " + err.Error())
 	}
 	s := &System{Cfg: cfg, K: sim.NewKernel(), Alloc: pagemem.NewAllocator()}
 	if cfg.Limit > 0 {
@@ -127,7 +160,7 @@ func NewSystem(cfg Config) *System {
 	s.K.Bus().Subscribe(stats.NewCollector(s.NodeSt))
 	for i := 0; i < cfg.Procs; i++ {
 		cpu := sim.NewCPU(s.K)
-		node := proto.NewNode(i, cfg.Procs, s.K, cpu, &cfg.Costs)
+		node := proto.NewNode(i, cfg.Procs, s.K, cpu, &cfg.Costs, pcfg)
 		node.Send = s.Net.Send
 		node.SetMT(cfg.MT())
 		if cfg.Net.Faults.Active() {
@@ -135,12 +168,6 @@ func NewSystem(cfg Config) *System {
 			// node from fiat delivery to the ack/retransmit transport.
 			node.EnableTransport()
 		}
-		node.ThrottlePf = cfg.ThrottlePf
-		node.GCThreshold = cfg.GCThreshold
-		node.NoTokenCache = cfg.NoTokenCache
-		node.PfReliable = cfg.PfReliable
-		node.PfHeapSharedGC = cfg.PfHeapSharedGC
-		node.EagerRC = cfg.EagerRC
 		s.CPUs = append(s.CPUs, cpu)
 		s.Nodes = append(s.Nodes, node)
 		s.Procs = append(s.Procs, newProcessor(s, i, node, cpu))

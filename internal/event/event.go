@@ -83,6 +83,10 @@ const (
 	KindThreadBlock  // thread stalled (Arg=run length, Aux=thread)
 	KindThreadResume // blocked thread became runnable (Aux=thread)
 
+	// Home-based coherence (HLRC).
+	KindHomeFlush // diff flushed to the page's home (Peer=home, Arg=data bytes)
+	KindHomeFetch // whole page fetched from its home (Peer=home, Arg=bytes)
+
 	numKinds
 )
 
@@ -127,6 +131,8 @@ var kindNames = [numKinds]string{
 	KindThreadSwitch:  "thread-switch",
 	KindThreadBlock:   "thread-block",
 	KindThreadResume:  "thread-resume",
+	KindHomeFlush:     "home-flush",
+	KindHomeFetch:     "home-fetch",
 }
 
 func (k Kind) String() string {
@@ -438,4 +444,18 @@ func ThreadBlock(node, thread int, run int64) Event {
 func ThreadResume(node, thread int) Event {
 	return Event{Kind: KindThreadResume, Node: int32(node), Peer: -1, Page: -1,
 		Aux: int64(thread)}
+}
+
+// HomeFlush records node flushing bytes data bytes of diff for page to its
+// home (HLRC release-time propagation).
+func HomeFlush(node, home int, page int64, bytes int) Event {
+	return Event{Kind: KindHomeFlush, Node: int32(node), Peer: int32(home), Page: page,
+		Arg: int64(bytes)}
+}
+
+// HomeFetch records node completing a whole-page fetch of page from its
+// home (HLRC demand miss).
+func HomeFetch(node, home int, page int64, bytes int) Event {
+	return Event{Kind: KindHomeFetch, Node: int32(node), Peer: int32(home), Page: page,
+		Arg: int64(bytes)}
 }

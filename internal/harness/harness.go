@@ -74,6 +74,10 @@ type Options struct {
 	// session (the zero plan injects nothing). The faults experiment uses
 	// its own escalating schedules instead.
 	Faults dsm.FaultPlan
+	// Protocol selects the coherence backend for every run of the session
+	// ("" = the default, lrc). The protocols experiment compares all
+	// backends regardless of this option.
+	Protocol string
 }
 
 // DefaultOptions mirrors the paper's platform: 8 processors, small scale.
@@ -162,6 +166,7 @@ func (s *Session) Config(app string, v Variant) dsm.Config {
 	if app == "RADIX" && cfg.Prefetch && cfg.ThreadsPerProc > 1 {
 		cfg.ThrottlePf = 2
 	}
+	cfg.Protocol = s.Opt.Protocol
 	cfg.Net.Faults = s.Opt.Faults
 	return cfg
 }
@@ -171,7 +176,35 @@ func (s *Session) Config(app string, v Variant) dsm.Config {
 // its result instead of simulating again — so Fig2's "O" run and Fig4's
 // "O" run simulate once even when the experiments render concurrently.
 func (s *Session) Run(app string, v Variant) (*dsm.Report, error) {
-	key := app + "/" + string(v)
+	return s.cached(app+"/"+string(v), func() (*dsm.Report, error) {
+		rep, err := s.RunConfig(app, s.Config(app, v))
+		if err != nil {
+			err = fmt.Errorf("%s/%s: %w", app, v, err)
+		}
+		return rep, err
+	})
+}
+
+// RunProtocol simulates one application under one variant with the named
+// coherence protocol, with golden-output verification forced on (a protocol
+// comparison is only meaningful between runs that all computed the right
+// answer). Results are cached and singleflighted like Run's.
+func (s *Session) RunProtocol(app string, v Variant, protocol string) (*dsm.Report, error) {
+	return s.cached(app+"/"+protocol+"/"+string(v)+"/verified", func() (*dsm.Report, error) {
+		cfg := s.Config(app, v)
+		cfg.Protocol = protocol
+		rep, err := s.runConfig(app, cfg, true)
+		if err != nil {
+			err = fmt.Errorf("%s/%s under %s: %w", app, v, protocol, err)
+		}
+		return rep, err
+	})
+}
+
+// cached returns the result stored under key, simulating it with sim on the
+// first call. Concurrent calls for the same key trigger exactly one
+// simulation and all receive the same result (singleflight).
+func (s *Session) cached(key string, sim func() (*dsm.Report, error)) (*dsm.Report, error) {
 	s.mu.Lock()
 	if f, ok := s.cache[key]; ok {
 		s.mu.Unlock()
@@ -182,11 +215,7 @@ func (s *Session) Run(app string, v Variant) (*dsm.Report, error) {
 	s.cache[key] = f
 	s.mu.Unlock()
 
-	rep, err := s.RunConfig(app, s.Config(app, v))
-	if err != nil {
-		err = fmt.Errorf("%s/%s: %w", app, v, err)
-	}
-	f.rep, f.err = rep, err
+	f.rep, f.err = sim()
 	close(f.done)
 	return f.rep, f.err
 }
@@ -210,6 +239,11 @@ func (s *Session) RunConfigVerified(app string, cfg dsm.Config) (*dsm.Report, er
 func (s *Session) runConfig(app string, cfg dsm.Config, verify bool) (*dsm.Report, error) {
 	spec, err := apps.ByName(app)
 	if err != nil {
+		return nil, err
+	}
+	// Reject bad protocol/knob combinations as a plain error here rather
+	// than letting dsm.NewSystem panic inside a worker goroutine.
+	if err := dsm.ValidateProtocolConfig(cfg); err != nil {
 		return nil, err
 	}
 	s.sem <- struct{}{}

@@ -18,14 +18,15 @@ func testSession() *Session {
 // on a reduced app set and sanity-checks the rendered output.
 func TestEveryExperimentRuns(t *testing.T) {
 	wantMarker := map[string]string{
-		"fig1":   "Figure 1",
-		"fig2":   "speedup",
-		"table1": "Covrge%",
-		"fig3":   "pf-hit%",
-		"fig4":   "multithreading",
-		"table2": "AvgStall",
-		"fig5":   "best:",
-		"faults": "schedule totals:",
+		"fig1":      "Figure 1",
+		"fig2":      "speedup",
+		"table1":    "Covrge%",
+		"fig3":      "pf-hit%",
+		"fig4":      "multithreading",
+		"table2":    "AvgStall",
+		"fig5":      "best:",
+		"faults":    "schedule totals:",
+		"protocols": "relative to lrc",
 	}
 	s := NewSession(Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR", "FFT"}})
 	for _, e := range Experiments {
@@ -141,6 +142,56 @@ func TestFaultedCrossWorkerDeterminism(t *testing.T) {
 	}
 	if exercised == 0 {
 		t.Error("fault plan never exercised the reliable transport")
+	}
+}
+
+// TestCrossProtocolDeterminism extends the determinism claim to every
+// registered coherence protocol: each protocol-grid cell must produce a
+// byte-identical report whether simulations run sequentially (workers=1) or
+// fanned out over 8 workers, and a rerun must reproduce it again.
+func TestCrossProtocolDeterminism(t *testing.T) {
+	opt := Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR", "FFT"}}
+	optSeq, optPar := opt, opt
+	optSeq.Workers = 1
+	optPar.Workers = 8
+	seq, par, rerun := NewSession(optSeq), NewSession(optPar), NewSession(optPar)
+
+	type pcell struct {
+		app   string
+		v     Variant
+		proto string
+	}
+	var grid []pcell
+	for _, proto := range dsm.Protocols() {
+		for _, app := range opt.Apps {
+			for _, v := range ProtocolVariants {
+				grid = append(grid, pcell{app, v, proto})
+			}
+		}
+	}
+	for _, s := range []*Session{par, rerun, seq} {
+		s := s
+		if err := each(len(grid), func(i int) error {
+			c := grid[i]
+			_, err := s.RunProtocol(c.app, c.v, c.proto)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range grid {
+		a, _ := seq.RunProtocol(c.app, c.v, c.proto)
+		b, _ := par.RunProtocol(c.app, c.v, c.proto)
+		d, _ := rerun.RunProtocol(c.app, c.v, c.proto)
+		fa, fb, fd := a.Fingerprint(), b.Fingerprint(), d.Fingerprint()
+		if fa != fb {
+			t.Errorf("%s/%s under %s: workers=1 and workers=8 reports differ:\nseq: %s\npar: %s",
+				c.app, c.v, c.proto, fa, fb)
+		}
+		if fb != fd {
+			t.Errorf("%s/%s under %s: rerun did not reproduce:\n1st: %s\n2nd: %s",
+				c.app, c.v, c.proto, fb, fd)
+		}
 	}
 }
 

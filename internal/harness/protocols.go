@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"godsm/dsm"
+)
+
+// Protocol comparison: the full application grid under each registered
+// coherence backend. The paper evaluates its latency-tolerance techniques on
+// TreadMarks' lazy release consistency; this experiment asks how those
+// results shift when the underlying protocol changes — eager notice
+// broadcast (ERC) and home-based LRC (HLRC), which trades distributed diff
+// fetches for whole-page fetches from a static home. Every run verifies its
+// output against the sequential golden, so differences are pure protocol
+// cost, never wrong answers.
+
+// ProtocolVariants is the comparison grid: original, prefetching,
+// multithreading, and combined — each protocol meets every traffic shape.
+var ProtocolVariants = []Variant{VarO, VarP, Var4T, Var4TP}
+
+// ProtocolNames lists the compared protocols, baseline first.
+var ProtocolNames = []string{"lrc", "erc", "hlrc"}
+
+// RunProtocols runs the protocol-comparison grid and renders per-protocol
+// tables plus a cross-protocol elapsed-time summary. The traffic columns
+// attribute data movement to its protocol mechanism: diff fetches for the
+// diff-based backends, home flushes and whole-page home fetches for HLRC.
+func RunProtocols(s *Session, w io.Writer) error {
+	type cell struct {
+		app   string
+		v     Variant
+		proto string
+		rep   *dsm.Report
+	}
+	var cells []*cell
+	idx := make(map[string]*cell)
+	for _, proto := range ProtocolNames {
+		for _, app := range s.AppNames() {
+			for _, v := range ProtocolVariants {
+				c := &cell{app: app, v: v, proto: proto}
+				cells = append(cells, c)
+				idx[c.app+"/"+c.proto+"/"+string(c.v)] = c
+			}
+		}
+	}
+	if err := each(len(cells), func(i int) error {
+		c := cells[i]
+		rep, err := s.RunProtocol(c.app, c.v, c.proto)
+		if err != nil {
+			return err
+		}
+		c.rep = rep
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Protocol comparison: application grid under each coherence backend, outputs verified against goldens")
+	for _, proto := range ProtocolNames {
+		fmt.Fprintf(w, "\nProtocol %s\n", proto)
+		fmt.Fprintf(w, "%-10s %-4s %10s %8s %7s %8s %8s %8s %8s %8s %7s\n",
+			"App", "Cfg", "Elapsed", "Msgs", "VolKB", "RemMiss", "DiffAppl", "HomeFlsh", "HomeFtch", "HomeKB", "verify")
+		for _, app := range s.AppNames() {
+			for _, v := range ProtocolVariants {
+				c := idx[app+"/"+proto+"/"+string(v)]
+				n := c.rep.Sum()
+				fmt.Fprintf(w, "%-10s %-4s %8sus %8d %7s %8d %8d %8d %8d %8s %7s\n",
+					app, v, usec(c.rep.Elapsed), c.rep.MsgsTotal, kb(c.rep.BytesTotal),
+					n.Misses, n.DiffsApplied, n.HomeFlushes, n.HomeFetches,
+					kb(n.HomeFlushBytes+n.HomeFetchBytes), "ok")
+			}
+		}
+	}
+
+	fmt.Fprintln(w, "\nElapsed time relative to lrc (ratio > 1 means slower)")
+	fmt.Fprintf(w, "%-10s %-4s", "App", "Cfg")
+	for _, proto := range ProtocolNames[1:] {
+		fmt.Fprintf(w, " %8s", proto)
+	}
+	fmt.Fprintln(w)
+	for _, app := range s.AppNames() {
+		for _, v := range ProtocolVariants {
+			base := idx[app+"/lrc/"+string(v)].rep
+			fmt.Fprintf(w, "%-10s %-4s", app, v)
+			for _, proto := range ProtocolNames[1:] {
+				rep := idx[app+"/"+proto+"/"+string(v)].rep
+				fmt.Fprintf(w, " %8.3f", float64(rep.Elapsed)/float64(base.Elapsed))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		ID:    "protocols",
+		Title: "Protocol comparison: LRC vs ERC vs home-based LRC",
+		Run:   RunProtocols,
+	})
+}

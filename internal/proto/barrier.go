@@ -1,0 +1,137 @@
+package proto
+
+import (
+	"godsm/internal/event"
+	"godsm/internal/lrc"
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+)
+
+// barrierState lives on the barrier manager (node 0).
+type barrierState struct {
+	arrived    int
+	arrivalVCs []lrc.VC // by node
+	releases   []func() // manager-local continuations
+	mgrStart   sim.Time
+	gcWant     bool // some arrival exceeded the GC threshold
+}
+
+// Barrier arrives at barrier id; onRelease runs (in kernel context) when
+// the barrier releases. The arrival closes the current interval and ships
+// this node's new intervals to the manager.
+func (sm *syncManager) Barrier(id int, onRelease func()) {
+	n := sm.n
+	n.closeInterval()
+	own := n.ownSinceBarrier
+	n.ownSinceBarrier = nil
+	n.bus.Emit(event.BarArrive(n.ID, id))
+
+	if n.ID == 0 {
+		// The manager consults the GC policy for its own storage figure;
+		// remote arrivals report raw diff bytes on the wire.
+		sm.barrier.mgrStart = n.K.Now()
+		sm.barrier.releases = append(sm.barrier.releases, onRelease)
+		sm.barArrive(&msgBarArrive{Barrier: id, From: 0, VC: n.vc.Clone(), Ivs: own,
+			DiffBytes: n.gc.ReportBytes()})
+		return
+	}
+
+	sm.barStart = n.K.Now()
+	sm.barWait = onRelease
+	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(own, n.N)
+	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
+	n.sendAfter(done, &netsim.Message{
+		Src: netsim.NodeID(n.ID), Dst: 0,
+		Size: size, Reliable: true, Kind: KindBarArrive,
+		Payload: &msgBarArrive{Barrier: id, From: n.ID, VC: n.vc.Clone(), Ivs: own,
+			DiffBytes: n.diffBytes},
+	})
+}
+
+// handleBarArrive runs on the manager for remote arrivals.
+func (sm *syncManager) handleBarArrive(a *msgBarArrive) { sm.barArrive(a) }
+
+// barArrive records one arrival; the N-th arrival releases everyone.
+func (sm *syncManager) barArrive(a *msgBarArrive) {
+	n := sm.n
+	b := sm.barrier
+	if b.arrivalVCs == nil {
+		b.arrivalVCs = make([]lrc.VC, n.N)
+	}
+	if b.arrivalVCs[a.From] != nil {
+		n.invariantf("duplicate barrier arrival from %d", a.From)
+	}
+	b.arrivalVCs[a.From] = a.VC.Clone()
+	if n.gc.Exceeds(a.DiffBytes) {
+		b.gcWant = true
+	}
+	// Record the arriver's intervals WITHOUT invalidating local pages or
+	// merging VCs yet: the manager acts as a server here; its own memory
+	// view only changes when it passes the barrier itself, and an arrival
+	// VC may cover third-node intervals whose records arrive later.
+	cost := n.C.BarrierMgr
+	for _, iv := range a.Ivs {
+		cost += n.recordDeferred(iv)
+	}
+	b.arrived++
+	if b.arrived < n.N {
+		n.CPU.Service(cost, sim.CatDSM)
+		return
+	}
+	for q := 0; q < n.N; q++ {
+		n.vc.Merge(b.arrivalVCs[q])
+	}
+	n.flushDeferred()
+	n.checkContiguity()
+
+	// Everyone is here: release. Each node gets the intervals it lacks
+	// (per its arrival VC), excluding its own.
+	arrivalVCs := b.arrivalVCs
+	releases := b.releases
+	mgrStart := b.mgrStart
+	gc := b.gcWant
+	b.arrived = 0
+	b.arrivalVCs = nil
+	b.releases = nil
+	b.gcWant = false
+
+	for q := 1; q < n.N; q++ {
+		ivs := n.missingIvs(arrivalVCs[q], q)
+		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
+		cost += n.C.MsgSend
+		done := n.CPU.Service(cost, sim.CatDSM)
+		cost = 0
+		n.sendAfter(done, &netsim.Message{
+			Src: 0, Dst: netsim.NodeID(q),
+			Size: size, Reliable: true, Kind: KindBarRelease,
+			Payload: &msgBarRelease{Barrier: a.Barrier, VC: n.vc.Clone(), Ivs: ivs, GC: gc},
+		})
+	}
+	done := n.CPU.Service(cost, sim.CatDSM)
+	n.bus.Emit(event.BarRelease(n.ID, a.Barrier, done-mgrStart))
+	resume := func() {
+		for _, r := range releases {
+			r()
+		}
+	}
+	if gc {
+		n.K.At(done, func() { n.gc.Begin(resume) })
+		return
+	}
+	n.K.At(done, resume)
+}
+
+// handleBarRelease completes a barrier wait on a non-manager node.
+func (sm *syncManager) handleBarRelease(r *msgBarRelease) {
+	n := sm.n
+	cost := n.intake(r.Ivs, r.VC)
+	done := n.CPU.Service(cost, sim.CatDSM)
+	n.bus.Emit(event.BarRelease(n.ID, r.Barrier, done-sm.barStart))
+	cb := sm.barWait
+	sm.barWait = nil
+	if r.GC {
+		n.K.At(done, func() { n.gc.Begin(cb) })
+		return
+	}
+	n.K.At(done, cb)
+}

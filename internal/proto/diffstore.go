@@ -1,0 +1,139 @@
+package proto
+
+import (
+	"godsm/internal/event"
+	"godsm/internal/lrc"
+	"godsm/internal/pagemem"
+	"godsm/internal/sim"
+)
+
+// The chassis diff store: diffs keyed by (creator interval, page), shared
+// by the diff-based coherence backends, the prefetcher and the garbage
+// collector. HLRC uses only the twin/diff primitives (its diffs live at
+// the page's home, applied on arrival, never stored).
+
+// storedDiff fetches a stored diff; ok distinguishes "stored as empty".
+func (n *Node) storedDiff(id lrc.IntervalID, p pagemem.PageID) (*pagemem.Diff, bool) {
+	m, ok := n.diffs[id]
+	if !ok {
+		return nil, false
+	}
+	d, ok := m[p]
+	return d, ok
+}
+
+func (n *Node) putDiff(id lrc.IntervalID, p pagemem.PageID, d *pagemem.Diff, prefetched bool) {
+	m, ok := n.diffs[id]
+	if !ok {
+		m = make(map[pagemem.PageID]*pagemem.Diff)
+		n.diffs[id] = m
+	}
+	if _, dup := m[p]; dup {
+		return
+	}
+	m[p] = d
+	if prefetched {
+		n.pfHeap += int64(d.WireSize())
+	} else {
+		n.diffBytes += int64(d.WireSize())
+	}
+}
+
+// makeOwnDiff lazily creates the diff for this node's undiffed write notice
+// on page p (if any), clearing the twin. Returns the CPU cost incurred.
+func (n *Node) makeOwnDiff(p pagemem.PageID) sim.Time {
+	ps := n.page(p)
+	if !ps.twinned {
+		return 0
+	}
+	twin := n.Store.Twin(p)
+	frame := n.Store.Frame(p)
+	d := pagemem.MakeDiff(p, twin, frame)
+	db := 0
+	if d != nil {
+		db = d.DataBytes()
+	}
+	n.bus.Emit(event.DiffMake(n.ID, int64(p), db))
+	cost := n.C.DiffMake + sim.Time(n.C.DiffScanNs*float64(pagemem.PageSize))
+	n.Store.DropTwin(p)
+	ps.twinned = false
+
+	// Attribute the diff to the undiffed notice. If the page was twinned
+	// during the still-open interval (no closed notice yet), close the
+	// interval now — the paper's "interval split" on prefetch of a dirty
+	// page; demand requests can only name closed notices, so for them the
+	// undiffed notice always exists.
+	if !ps.hasUndiffed {
+		if iv := n.closeInterval(); iv == nil || !ps.hasUndiffed {
+			n.pageInvariantf(p, "dirty page %d without a notice after interval close", p)
+		}
+	}
+	id := ps.undiffed
+	ps.hasUndiffed = false
+	if d == nil {
+		d = &pagemem.Diff{Page: p} // store an explicit empty diff
+	}
+	n.putDiff(id, p, d, false)
+	return cost
+}
+
+// applyPending applies every pending diff for p, in causal order, to the
+// local frame. All pending diffs must be present locally. Returns the CPU
+// cost.
+//
+// If the page is locally dirty, the node's own modifications are committed
+// as a diff FIRST (TreadMarks's rule). Otherwise later local writes —
+// which may causally depend on the remote data being applied now — would
+// ride in the old (concurrent) interval's lazily-created diff, and a third
+// node applying diffs in causal order would order the dependency backwards.
+func (n *Node) applyPending(p pagemem.PageID) sim.Time {
+	ps := n.page(p)
+	if len(ps.pending) == 0 {
+		return 0
+	}
+	var cost sim.Time
+	if ps.twinned {
+		cost += n.makeOwnDiff(p)
+	}
+
+	ivs := make([]*lrc.Interval, 0, len(ps.pending))
+	for _, id := range ps.pending {
+		iv := n.ivs[id.Node][id.Seq-1]
+		if iv == nil {
+			n.pageInvariantf(p, "pending interval %v on page %d without record", id, p)
+		}
+		ivs = append(ivs, iv)
+	}
+	lrc.SortCausally(ivs)
+
+	frame := n.Store.Frame(p)
+	for _, iv := range ivs {
+		d, ok := n.storedDiff(iv.ID, p)
+		if !ok {
+			n.pageInvariantf(p, "node %d applying page %d without diff for %v",
+				n.ID, p, iv.ID)
+		}
+		if d != nil && len(d.Runs) > 0 {
+			n.bus.Emit(event.DiffApply(n.ID, int64(p), d.DataBytes()))
+			d.Apply(frame)
+			cost += n.C.DiffApply + sim.Time(n.C.ApplyNs*float64(d.DataBytes()))
+		} else {
+			cost += n.C.DiffApply / 2
+		}
+	}
+	ps.pending = ps.pending[:0]
+	return cost
+}
+
+// missingDiffs lists the pending intervals for p whose diffs are not yet
+// held locally.
+func (n *Node) missingDiffs(p pagemem.PageID) []lrc.IntervalID {
+	ps := n.page(p)
+	var out []lrc.IntervalID
+	for _, id := range ps.pending {
+		if _, ok := n.storedDiff(id, p); !ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -91,6 +91,13 @@ func (n *Node) newInvariantError(page int64, format string, args ...any) *Invari
 	}
 }
 
+// configInvariantf panics with a structured InvariantError for a
+// construction-time failure (bad registration or Config); there is no node
+// state or event history to attach yet.
+func configInvariantf(format string, args ...any) {
+	panic(&InvariantError{Node: -1, Page: -1, Msg: fmt.Sprintf(format, args...)})
+}
+
 // invariantf panics with a structured InvariantError for a failure that is
 // not tied to a particular page.
 func (n *Node) invariantf(format string, args ...any) {

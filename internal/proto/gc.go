@@ -22,7 +22,7 @@ import (
 // separately and prefetched pages validate without network traffic.
 //
 // Protocol: barrier arrivals report each node's diff-storage size. If any
-// exceeds GCThreshold, the release message carries a GC flag. Each node
+// exceeds the threshold, the release message carries a GC flag. Each node
 // then fetches and applies every pending diff (normal fault machinery) and
 // sends GC-DONE to the manager; when all N are done the manager broadcasts
 // GC-FLUSH, nodes discard diffs/records below the current vector time, and
@@ -35,10 +35,52 @@ type msgGCDone struct{ From int }
 // barrier waiters.
 type msgGCFlush struct{}
 
+// lrcGC is the diff garbage collector used by the diff-based backends.
+type lrcGC struct {
+	n            *Node
+	threshold    int64    // trigger a collection above this many bytes (0 = off)
+	sharedPfHeap bool     // count the prefetch cache toward the trigger
+	resume       func()   // stashed barrier release during a collection
+	start        sim.Time // when the current collection began
+	doneCount    int      // manager-side: nodes that completed validation
+}
+
+// ReportBytes returns the storage figure the barrier manager reports for
+// itself. Remote arrivals ship raw diff bytes; only the manager's local
+// report folds in the prefetch heap when the separate-heap relief is
+// disabled (footnote 6's ablation measures the manager-triggered effect).
+func (g *lrcGC) ReportBytes() int64 {
+	report := g.n.diffBytes
+	if g.sharedPfHeap {
+		report += g.n.pfHeap
+	}
+	return report
+}
+
+// Exceeds reports whether a barrier arrival's storage figure should trigger
+// a collection at the release.
+func (g *lrcGC) Exceeds(reported int64) bool {
+	return g.threshold > 0 && reported > g.threshold
+}
+
+// Handle dispatches the collection messages.
+func (g *lrcGC) Handle(m *netsim.Message) bool {
+	switch pl := m.Payload.(type) {
+	case *msgGCDone:
+		g.gcDoneAtManager(pl.From)
+	case *msgGCFlush:
+		g.handleGCFlush()
+	default:
+		return false
+	}
+	return true
+}
+
 // gcValidate fetches and applies every pending diff at this node, then
 // reports completion. onDone runs (in kernel context) when local
 // validation finishes.
-func (n *Node) gcValidate(onDone func()) {
+func (g *lrcGC) gcValidate(onDone func()) {
+	n := g.n
 	// Waves: fetching can itself surface new pending notices (interval
 	// splits while serving, eager-RC broadcasts), so re-scan until clean.
 	var wave func()
@@ -71,7 +113,8 @@ func (n *Node) gcValidate(onDone func()) {
 // covered by the current vector time. Records below gcBase are gone; the
 // protocol invariant (contiguity above gcBase) is maintained because every
 // node's VC covers gcBase after the collection.
-func (n *Node) gcFlush() {
+func (g *lrcGC) gcFlush() {
+	n := g.n
 	n.diffs = make(map[lrc.IntervalID]map[pagemem.PageID]*pagemem.Diff)
 	n.diffBytes = 0
 	n.pfHeap = 0
@@ -106,9 +149,10 @@ func (n *Node) gcFlush() {
 }
 
 // gcSendDone reports local validation completion to the barrier manager.
-func (n *Node) gcSendDone() {
+func (g *lrcGC) gcSendDone() {
+	n := g.n
 	if n.ID == 0 {
-		n.gcDoneAtManager(0)
+		g.gcDoneAtManager(0)
 		return
 	}
 	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
@@ -120,13 +164,13 @@ func (n *Node) gcSendDone() {
 }
 
 // gcDoneAtManager counts completions; the N-th broadcasts the flush.
-func (n *Node) gcDoneAtManager(from int) {
-	b := n.barrier
-	b.gcDone++
-	if b.gcDone < n.N {
+func (g *lrcGC) gcDoneAtManager(from int) {
+	n := g.n
+	g.doneCount++
+	if g.doneCount < n.N {
 		return
 	}
-	b.gcDone = 0
+	g.doneCount = 0
 	var cost sim.Time
 	for q := 1; q < n.N; q++ {
 		cost += n.C.MsgSend
@@ -139,15 +183,16 @@ func (n *Node) gcDoneAtManager(from int) {
 			Payload: &msgGCFlush{},
 		})
 	}
-	n.handleGCFlush()
+	g.handleGCFlush()
 }
 
 // handleGCFlush finishes the collection locally and releases the barrier.
-func (n *Node) handleGCFlush() {
-	n.gcFlush()
-	n.bus.Emit(event.GCDone(n.ID, n.K.Now()-n.gcStart))
-	cb := n.gcResume
-	n.gcResume = nil
+func (g *lrcGC) handleGCFlush() {
+	n := g.n
+	g.gcFlush()
+	n.bus.Emit(event.GCDone(n.ID, n.K.Now()-g.start))
+	cb := g.resume
+	g.resume = nil
 	if cb == nil {
 		n.invariantf("GC flush without a pending barrier release")
 	}
@@ -155,11 +200,24 @@ func (n *Node) handleGCFlush() {
 	n.K.At(done, cb)
 }
 
-// gcBegin starts the validation phase after a GC-flagged barrier release;
+// Begin starts the validation phase after a GC-flagged barrier release;
 // resume runs once the global collection completes.
-func (n *Node) gcBegin(resume func()) {
+func (g *lrcGC) Begin(resume func()) {
+	n := g.n
 	n.bus.Emit(event.GCBegin(n.ID))
-	n.gcResume = resume
-	n.gcStart = n.K.Now()
-	n.gcValidate(func() { n.gcSendDone() })
+	g.resume = resume
+	g.start = n.K.Now()
+	g.gcValidate(func() { g.gcSendDone() })
+}
+
+// noGC is the DiffGC of backends without consistency-record collection
+// (HLRC: homes apply diffs eagerly, so storage never accumulates). Barrier
+// arrivals still report raw diff bytes — always zero — and never trigger.
+type noGC struct{ n *Node }
+
+func (g noGC) ReportBytes() int64          { return g.n.diffBytes }
+func (g noGC) Exceeds(int64) bool          { return false }
+func (g noGC) Handle(*netsim.Message) bool { return false }
+func (g noGC) Begin(func()) {
+	g.n.invariantf("node %d: GC begin under a backend with no collector", g.n.ID)
 }

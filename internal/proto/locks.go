@@ -2,10 +2,61 @@ package proto
 
 import (
 	"godsm/internal/event"
-	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
 )
+
+// syncManager implements the SyncManager interface shared by every backend:
+// TreadMarks's distributed queue locks (this file) and the centralized
+// barrier manager (barrier.go). Consistency metadata piggybacks on the
+// synchronization messages through the chassis's intake/missingIvs helpers,
+// so the same manager works for all coherence policies.
+type syncManager struct {
+	n            *Node
+	noTokenCache bool
+
+	locks map[int]*lockState
+
+	barrier  *barrierState // non-nil only on the barrier manager (node 0)
+	barWait  func()        // continuation for an in-progress barrier wait
+	barStart sim.Time      // when this node arrived at the barrier
+}
+
+func newSyncManager(n *Node, noTokenCache bool) *syncManager {
+	sm := &syncManager{n: n, noTokenCache: noTokenCache, locks: make(map[int]*lockState)}
+	if n.ID == 0 {
+		sm.barrier = &barrierState{}
+	}
+	return sm
+}
+
+// Handle dispatches the lock and barrier messages.
+func (sm *syncManager) Handle(m *netsim.Message) bool {
+	switch pl := m.Payload.(type) {
+	case *msgLockAcq:
+		switch m.Kind {
+		case KindLockAcq:
+			sm.handleLockAcqAtManager(pl)
+		case KindLockRetry:
+			sm.handleLockRetry(pl)
+		default:
+			sm.handleLockForward(pl)
+		}
+	case *msgLockGrant:
+		if m.Kind == KindLockReturn {
+			sm.handleLockReturn(pl)
+		} else {
+			sm.handleLockGrant(pl)
+		}
+	case *msgBarArrive:
+		sm.handleBarArrive(pl)
+	case *msgBarRelease:
+		sm.handleBarRelease(pl)
+	default:
+		return false
+	}
+	return true
+}
 
 // lockState is one lock's state at one node. The algorithm is TreadMarks's
 // distributed queue: a static manager (lock id mod N) tracks the last
@@ -24,7 +75,7 @@ type lockState struct {
 	waiting    func()      // local continuation once our grant arrives
 	reqStart   sim.Time
 
-	// Manager-side, NoTokenCache only: a redirected request waiting for
+	// Manager-side, noTokenCache only: a redirected request waiting for
 	// the token to come back from its last holder.
 	retryQ *msgLockAcq
 
@@ -37,33 +88,34 @@ type lockState struct {
 	lastReqSeq int
 }
 
-func (n *Node) lock(id int) *lockState {
-	ls, ok := n.locks[id]
+func (sm *syncManager) lock(id int) *lockState {
+	ls, ok := sm.locks[id]
 	if !ok {
 		ls = &lockState{lastRequester: -1}
-		if n.lockManager(id) == n.ID {
+		if sm.lockManager(id) == sm.n.ID {
 			ls.owned = true // the manager owns every token initially
-			ls.lastRequester = n.ID
+			ls.lastRequester = sm.n.ID
 		}
-		n.locks[id] = ls
+		sm.locks[id] = ls
 	}
 	return ls
 }
 
-func (n *Node) lockManager(id int) int { return id % n.N }
+func (sm *syncManager) lockManager(id int) int { return id % sm.n.N }
 
 // AcquireLock acquires lock id. If the token is cached locally the acquire
 // completes immediately and AcquireLock returns true; otherwise it returns
 // false and onGranted runs (in kernel context) when the grant arrives.
-func (n *Node) AcquireLock(id int, onGranted func()) (immediate bool) {
-	ls := n.lock(id)
+func (sm *syncManager) AcquireLock(id int, onGranted func()) (immediate bool) {
+	n := sm.n
+	ls := sm.lock(id)
 	if ls.held {
 		n.invariantf("node %d re-acquiring held lock %d (combine locally first)", n.ID, id)
 	}
 	if ls.waiting != nil {
 		n.invariantf("node %d has concurrent remote acquires of lock %d", n.ID, id)
 	}
-	if ls.owned && !n.NoTokenCache {
+	if ls.owned && !sm.noTokenCache {
 		ls.held = true
 		n.bus.Emit(event.LockLocal(n.ID, id))
 		return true
@@ -74,10 +126,10 @@ func (n *Node) AcquireLock(id int, onGranted func()) (immediate bool) {
 	ls.reqStart = n.K.Now()
 	ls.mySeq++
 	req := &msgLockAcq{Lock: id, Requester: n.ID, VC: n.vc.Clone(), Seq: ls.mySeq}
-	mgr := n.lockManager(id)
+	mgr := sm.lockManager(id)
 	if mgr == n.ID {
 		done := n.CPU.Service(n.C.LockMgr, sim.CatDSM)
-		n.K.At(done, func() { n.handleLockAcqAtManager(req) })
+		n.K.At(done, func() { sm.handleLockAcqAtManager(req) })
 		return false
 	}
 	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
@@ -91,20 +143,21 @@ func (n *Node) AcquireLock(id int, onGranted func()) (immediate bool) {
 
 // handleLockAcqAtManager runs at the lock's manager: it records the new
 // tail of the queue and forwards the request to the previous requester.
-func (n *Node) handleLockAcqAtManager(req *msgLockAcq) {
-	ls := n.lock(req.Lock)
+func (sm *syncManager) handleLockAcqAtManager(req *msgLockAcq) {
+	n := sm.n
+	ls := sm.lock(req.Lock)
 	prev := ls.lastRequester
 	prevSeq := ls.lastReqSeq
 	ls.lastRequester = req.Requester
 	ls.lastReqSeq = req.Seq
 	req.PrevSeq = prevSeq
-	if prev == req.Requester && !n.NoTokenCache {
+	if prev == req.Requester && !sm.noTokenCache {
 		// With token caching the last requester re-acquires locally and
 		// never contacts the manager; reaching here is a protocol bug.
 		n.invariantf("lock %d requester %d already owns the token", req.Lock, req.Requester)
 	}
 	if prev == n.ID {
-		n.handleLockForward(req)
+		sm.handleLockForward(req)
 		return
 	}
 	done := n.CPU.Service(n.C.LockMgr+n.C.MsgSend, sim.CatDSM)
@@ -117,37 +170,38 @@ func (n *Node) handleLockAcqAtManager(req *msgLockAcq) {
 
 // handleLockForward runs at the previous requester: grant now if the token
 // is here and free, remember the successor until our release if we hold or
-// will hold it, or (NoTokenCache only) redirect to the manager if the token
+// will hold it, or (noTokenCache only) redirect to the manager if the token
 // has already been returned.
-func (n *Node) handleLockForward(req *msgLockAcq) {
-	ls := n.lock(req.Lock)
+func (sm *syncManager) handleLockForward(req *msgLockAcq) {
+	n := sm.n
+	ls := sm.lock(req.Lock)
 	n.bus.Emit(event.LockForward(n.ID, req.Lock, req.Requester))
 	if ls.pendingFwd != nil {
 		n.invariantf("lock %d already has a pending successor", req.Lock)
 	}
 	if ls.owned && !ls.held {
 		// Token here and free: grant even if we are ourselves re-queued
-		// (NoTokenCache) — our own grant will come back through the chain.
-		n.grantLock(req)
+		// (noTokenCache) — our own grant will come back through the chain.
+		sm.grantLock(req)
 		return
 	}
 	if ls.held {
-		if n.NoTokenCache && req.PrevSeq != ls.mySeq {
+		if sm.noTokenCache && req.PrevSeq != ls.mySeq {
 			n.invariantf("lock %d forward for stale tenure while held", req.Lock)
 		}
 		ls.pendingFwd = req
 		return
 	}
-	if ls.waiting != nil && (!n.NoTokenCache || req.PrevSeq == ls.mySeq) {
+	if ls.waiting != nil && (!sm.noTokenCache || req.PrevSeq == ls.mySeq) {
 		// The request chains after our pending tenure.
 		ls.pendingFwd = req
 		return
 	}
-	if !n.NoTokenCache {
+	if !sm.noTokenCache {
 		n.invariantf("node %d forwarded lock %d it does not own", n.ID, req.Lock)
 	}
 	// The token is on its way back to the manager: redirect the request.
-	mgr := n.lockManager(req.Lock)
+	mgr := sm.lockManager(req.Lock)
 	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
 	n.sendAfter(done, &netsim.Message{
 		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(mgr),
@@ -158,26 +212,27 @@ func (n *Node) handleLockForward(req *msgLockAcq) {
 
 // handleLockRetry runs at the manager: grant from the (possibly still
 // in-flight) returned token.
-func (n *Node) handleLockRetry(req *msgLockAcq) {
-	ls := n.lock(req.Lock)
+func (sm *syncManager) handleLockRetry(req *msgLockAcq) {
+	ls := sm.lock(req.Lock)
 	if ls.owned && !ls.held {
-		n.grantLock(req)
+		sm.grantLock(req)
 		return
 	}
 	if ls.retryQ != nil {
-		n.invariantf("lock %d has two redirected requests", req.Lock)
+		sm.n.invariantf("lock %d has two redirected requests", req.Lock)
 	}
 	ls.retryQ = req
 }
 
-// returnToken ships the token back to the manager (NoTokenCache), carrying
+// returnToken ships the token back to the manager (noTokenCache), carrying
 // everything this node knows above the GC base so later manager grants are
 // consistent.
-func (n *Node) returnToken(id int) {
+func (sm *syncManager) returnToken(id int) {
+	n := sm.n
 	n.bus.Emit(event.LockReturn(n.ID, id))
-	ls := n.lock(id)
+	ls := sm.lock(id)
 	ls.owned = false
-	mgr := n.lockManager(id)
+	mgr := sm.lockManager(id)
 	ivs := n.missingIvs(n.gcBase.Clone(), mgr)
 	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
 	done := n.CPU.Service(n.C.GrantMake+n.C.MsgSend, sim.CatDSM)
@@ -190,22 +245,24 @@ func (n *Node) returnToken(id int) {
 
 // handleLockReturn restores manager ownership and serves any redirected
 // request that raced with the return.
-func (n *Node) handleLockReturn(g *msgLockGrant) {
-	ls := n.lock(g.Lock)
+func (sm *syncManager) handleLockReturn(g *msgLockGrant) {
+	n := sm.n
+	ls := sm.lock(g.Lock)
 	cost := n.intake(g.Ivs, g.VC)
 	n.CPU.Service(cost, sim.CatDSM)
 	ls.owned = true
 	if ls.retryQ != nil {
 		req := ls.retryQ
 		ls.retryQ = nil
-		n.grantLock(req)
+		sm.grantLock(req)
 	}
 }
 
 // grantLock transfers the token to req.Requester with piggybacked write
 // notices. The caller must own the token and the lock must be free.
-func (n *Node) grantLock(req *msgLockAcq) {
-	ls := n.lock(req.Lock)
+func (sm *syncManager) grantLock(req *msgLockAcq) {
+	n := sm.n
+	ls := sm.lock(req.Lock)
 	ls.owned = false
 	ivs := n.missingIvs(req.VC, req.Requester)
 	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
@@ -218,8 +275,9 @@ func (n *Node) grantLock(req *msgLockAcq) {
 }
 
 // handleLockGrant completes a remote acquire.
-func (n *Node) handleLockGrant(g *msgLockGrant) {
-	ls := n.lock(g.Lock)
+func (sm *syncManager) handleLockGrant(g *msgLockGrant) {
+	n := sm.n
+	ls := sm.lock(g.Lock)
 	if ls.waiting == nil {
 		n.invariantf("node %d got unexpected grant of lock %d", n.ID, g.Lock)
 	}
@@ -240,8 +298,9 @@ func (n *Node) handleLockGrant(g *msgLockGrant) {
 // ReleaseLock releases lock id: the release closes the current interval
 // (the LRC interval boundary) and hands the token to a waiting successor,
 // if any. Local: no messages unless a successor is pending.
-func (n *Node) ReleaseLock(id int) {
-	ls := n.lock(id)
+func (sm *syncManager) ReleaseLock(id int) {
+	n := sm.n
+	ls := sm.lock(id)
 	if !ls.held {
 		n.invariantf("node %d releasing lock %d it does not hold", n.ID, id)
 	}
@@ -250,147 +309,18 @@ func (n *Node) ReleaseLock(id int) {
 	if ls.pendingFwd != nil {
 		req := ls.pendingFwd
 		ls.pendingFwd = nil
-		n.grantLock(req)
+		sm.grantLock(req)
 		return
 	}
-	if n.NoTokenCache {
-		if n.lockManager(id) != n.ID {
-			n.returnToken(id)
+	if sm.noTokenCache {
+		if sm.lockManager(id) != n.ID {
+			sm.returnToken(id)
 		} else if ls.retryQ != nil {
 			// A redirected request was waiting for the manager's own
 			// tenure to finish.
 			req := ls.retryQ
 			ls.retryQ = nil
-			n.grantLock(req)
+			sm.grantLock(req)
 		}
 	}
-}
-
-// barrierState lives on the barrier manager (node 0).
-type barrierState struct {
-	arrived    int
-	arrivalVCs []lrc.VC // by node
-	releases   []func() // manager-local continuations
-	mgrStart   sim.Time
-	gcWant     bool // some arrival exceeded the GC threshold
-	gcDone     int  // nodes that completed GC validation
-}
-
-// Barrier arrives at barrier id; onRelease runs (in kernel context) when
-// the barrier releases. The arrival closes the current interval and ships
-// this node's new intervals to the manager.
-func (n *Node) Barrier(id int, onRelease func()) {
-	n.closeInterval()
-	own := n.ownSinceBarrier
-	n.ownSinceBarrier = nil
-	n.bus.Emit(event.BarArrive(n.ID, id))
-
-	report := n.diffBytes
-	if n.PfHeapSharedGC {
-		report += n.pfHeap
-	}
-	if n.ID == 0 {
-		n.barrier.mgrStart = n.K.Now()
-		n.barrier.releases = append(n.barrier.releases, onRelease)
-		n.barArrive(&msgBarArrive{Barrier: id, From: 0, VC: n.vc.Clone(), Ivs: own,
-			DiffBytes: report})
-		return
-	}
-
-	n.barStart = n.K.Now()
-	n.barWait = onRelease
-	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(own, n.N)
-	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
-	n.sendAfter(done, &netsim.Message{
-		Src: netsim.NodeID(n.ID), Dst: 0,
-		Size: size, Reliable: true, Kind: KindBarArrive,
-		Payload: &msgBarArrive{Barrier: id, From: n.ID, VC: n.vc.Clone(), Ivs: own,
-			DiffBytes: n.diffBytes},
-	})
-}
-
-// handleBarArrive runs on the manager for remote arrivals.
-func (n *Node) handleBarArrive(a *msgBarArrive) { n.barArrive(a) }
-
-// barArrive records one arrival; the N-th arrival releases everyone.
-func (n *Node) barArrive(a *msgBarArrive) {
-	b := n.barrier
-	if b.arrivalVCs == nil {
-		b.arrivalVCs = make([]lrc.VC, n.N)
-	}
-	if b.arrivalVCs[a.From] != nil {
-		n.invariantf("duplicate barrier arrival from %d", a.From)
-	}
-	b.arrivalVCs[a.From] = a.VC.Clone()
-	if n.GCThreshold > 0 && a.DiffBytes > n.GCThreshold {
-		b.gcWant = true
-	}
-	// Record the arriver's intervals WITHOUT invalidating local pages or
-	// merging VCs yet: the manager acts as a server here; its own memory
-	// view only changes when it passes the barrier itself, and an arrival
-	// VC may cover third-node intervals whose records arrive later.
-	cost := n.C.BarrierMgr
-	for _, iv := range a.Ivs {
-		cost += n.recordDeferred(iv)
-	}
-	b.arrived++
-	if b.arrived < n.N {
-		n.CPU.Service(cost, sim.CatDSM)
-		return
-	}
-	for q := 0; q < n.N; q++ {
-		n.vc.Merge(b.arrivalVCs[q])
-	}
-	n.flushDeferred()
-	n.checkContiguity()
-
-	// Everyone is here: release. Each node gets the intervals it lacks
-	// (per its arrival VC), excluding its own.
-	arrivalVCs := b.arrivalVCs
-	releases := b.releases
-	mgrStart := b.mgrStart
-	gc := b.gcWant
-	b.arrived = 0
-	b.arrivalVCs = nil
-	b.releases = nil
-	b.gcWant = false
-
-	for q := 1; q < n.N; q++ {
-		ivs := n.missingIvs(arrivalVCs[q], q)
-		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
-		cost += n.C.MsgSend
-		done := n.CPU.Service(cost, sim.CatDSM)
-		cost = 0
-		n.sendAfter(done, &netsim.Message{
-			Src: 0, Dst: netsim.NodeID(q),
-			Size: size, Reliable: true, Kind: KindBarRelease,
-			Payload: &msgBarRelease{Barrier: a.Barrier, VC: n.vc.Clone(), Ivs: ivs, GC: gc},
-		})
-	}
-	done := n.CPU.Service(cost, sim.CatDSM)
-	n.bus.Emit(event.BarRelease(n.ID, a.Barrier, done-mgrStart))
-	resume := func() {
-		for _, r := range releases {
-			r()
-		}
-	}
-	if gc {
-		n.K.At(done, func() { n.gcBegin(resume) })
-		return
-	}
-	n.K.At(done, resume)
-}
-
-// handleBarRelease completes a barrier wait on a non-manager node.
-func (n *Node) handleBarRelease(r *msgBarRelease) {
-	cost := n.intake(r.Ivs, r.VC)
-	done := n.CPU.Service(cost, sim.CatDSM)
-	n.bus.Emit(event.BarRelease(n.ID, r.Barrier, done-n.barStart))
-	cb := n.barWait
-	n.barWait = nil
-	if r.GC {
-		n.K.At(done, func() { n.gcBegin(cb) })
-		return
-	}
-	n.K.At(done, cb)
 }

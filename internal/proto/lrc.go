@@ -8,12 +8,25 @@ import (
 	"godsm/internal/sim"
 )
 
+// lrcCoherence is the TreadMarks-style coherence policy: page faults fetch
+// the missing diffs from their creators (request combining, causal apply),
+// and diffs are created lazily on first demand. With eager set the same
+// engine runs as eager release consistency: every interval close broadcasts
+// its write notices to all nodes (Munin-style), while data still moves as
+// lazily-fetched diffs.
+type lrcCoherence struct {
+	n          *Node
+	eager      bool // broadcast write notices at every interval close (ERC)
+	pfReliable bool // prefetch replies ride the reliable transport
+}
+
 // Fault resolves an access to an invalid page. onValid runs (in kernel
 // context) once the page is valid; the caller is expected to park the
 // faulting thread until then. Concurrent faults on the same page join the
 // in-flight fetch (request combining). Must be called from kernel context
 // with the page invalid.
-func (n *Node) Fault(p pagemem.PageID, onValid func()) {
+func (c *lrcCoherence) Fault(p pagemem.PageID, onValid func()) {
+	n := c.n
 	if n.PageValid(p) {
 		n.pageInvariantf(p, "Fault on valid page %d", p)
 	}
@@ -59,7 +72,7 @@ func (n *Node) Fault(p pagemem.PageID, onValid func()) {
 		start:   n.K.Now(),
 	}
 	n.fetches[p] = f
-	n.issueDiffRequests(f, missing, n.C.FaultEntry)
+	c.issueDiffRequests(f, missing, n.C.FaultEntry)
 }
 
 func anyOutside(ids []lrc.IntervalID, set map[lrc.IntervalID]bool) bool {
@@ -73,7 +86,8 @@ func anyOutside(ids []lrc.IntervalID, set map[lrc.IntervalID]bool) bool {
 
 // issueDiffRequests sends one reliable diff request per distinct creator
 // for the missing intervals, charging extraCost plus per-message send cost.
-func (n *Node) issueDiffRequests(f *fetch, missing []lrc.IntervalID, extraCost sim.Time) {
+func (c *lrcCoherence) issueDiffRequests(f *fetch, missing []lrc.IntervalID, extraCost sim.Time) {
+	n := c.n
 	nodes, groups := groupByNode(missing)
 	var msgs []*netsim.Message
 	for _, node := range nodes {
@@ -113,7 +127,8 @@ func groupByNode(ids []lrc.IntervalID) ([]int, map[int][]lrc.IntervalID) {
 // handleDiffReq services a demand or prefetch diff request: it lazily
 // creates the diff for this node's undiffed write notice if that notice is
 // requested, then replies with every requested diff.
-func (n *Node) handleDiffReq(req *msgDiffReq) {
+func (c *lrcCoherence) handleDiffReq(req *msgDiffReq) {
+	n := c.n
 	ps := n.page(req.Page)
 	var cost sim.Time
 	items := make([]diffItem, 0, len(req.Wants))
@@ -140,7 +155,7 @@ func (n *Node) handleDiffReq(req *msgDiffReq) {
 		Src:      netsim.NodeID(n.ID),
 		Dst:      netsim.NodeID(req.From),
 		Size:     n.C.diffReplySize(items),
-		Reliable: !req.Prefetch || n.PfReliable,
+		Reliable: !req.Prefetch || c.pfReliable,
 		Kind:     KindDiffReply,
 		Payload:  reply,
 	}
@@ -153,7 +168,8 @@ func (n *Node) handleDiffReq(req *msgDiffReq) {
 
 // handleDiffReply stores arriving diffs and completes any in-flight demand
 // fetch they satisfy.
-func (n *Node) handleDiffReply(rep *msgDiffReply) {
+func (c *lrcCoherence) handleDiffReply(rep *msgDiffReply) {
+	n := c.n
 	for _, it := range rep.Items {
 		n.putDiff(it.ID, rep.Page, it.Diff, rep.Prefetch)
 	}
@@ -177,7 +193,7 @@ func (n *Node) handleDiffReply(rep *msgDiffReply) {
 	// taken in while we waited (another thread acquiring a lock); if so,
 	// keep fetching.
 	if missing := n.missingDiffs(f.page); len(missing) > 0 {
-		n.issueDiffRequests(f, missing, 0)
+		c.issueDiffRequests(f, missing, 0)
 		return
 	}
 	cost := n.applyPending(f.page)
@@ -190,4 +206,64 @@ func (n *Node) handleDiffReply(rep *msgDiffReply) {
 			w()
 		}
 	})
+}
+
+// AfterClose broadcasts the just-closed interval's write notices when
+// running as eager release consistency; the lazy default does nothing.
+func (c *lrcCoherence) AfterClose(iv *lrc.Interval) {
+	if c.eager {
+		c.broadcastNotice(iv)
+	}
+}
+
+// broadcastNotice pushes a just-closed interval's write notices to every
+// other node (eager release consistency).
+func (c *lrcCoherence) broadcastNotice(iv *lrc.Interval) {
+	n := c.n
+	size := n.C.HeaderBytes + 8 + 4*n.N + n.C.PerNoticeByt*len(iv.Pages)
+	var cost sim.Time
+	for q := 0; q < n.N; q++ {
+		if q == n.ID {
+			continue
+		}
+		cost += n.C.MsgSend
+		done := n.CPU.Service(cost, sim.CatDSM)
+		cost = 0
+		n.sendAfter(done, &netsim.Message{
+			Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(q),
+			Size: size, Reliable: true, Kind: KindEagerNotice,
+			Payload: &msgEagerNotice{Iv: iv},
+		})
+	}
+}
+
+// handleEagerNotice records and applies an eagerly-pushed write notice.
+// Only the creator's own vector entry is advanced: per-pair FIFO delivery
+// guarantees the creator's records arrive contiguously, and advancing it
+// keeps this node's subsequent intervals causally after the data they may
+// come to depend on. Third-party entries of the interval's VC are NOT
+// merged (their records may not have arrived yet).
+func (c *lrcCoherence) handleEagerNotice(m *msgEagerNotice) {
+	n := c.n
+	iv := m.Iv
+	cost := n.recordInterval(iv)
+	if n.vc[iv.ID.Node] < iv.ID.Seq {
+		n.vc[iv.ID.Node] = iv.ID.Seq
+	}
+	n.CPU.Service(cost, sim.CatDSM)
+}
+
+// Handle dispatches the diff-fetch and eager-notice messages.
+func (c *lrcCoherence) Handle(m *netsim.Message) bool {
+	switch pl := m.Payload.(type) {
+	case *msgDiffReq:
+		c.handleDiffReq(pl)
+	case *msgDiffReply:
+		c.handleDiffReply(pl)
+	case *msgEagerNotice:
+		c.handleEagerNotice(pl)
+	default:
+		return false
+	}
+	return true
 }

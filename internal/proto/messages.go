@@ -23,6 +23,9 @@ const (
 	KindLockRetry
 	KindEagerNotice
 	KindAck // pure transport acknowledgment (no protocol payload)
+	KindHomeFlush
+	KindPageReq
+	KindPageReply
 	numKinds
 )
 
@@ -59,6 +62,12 @@ func KindName(k netsim.Kind) string {
 		return "eager-notice"
 	case KindAck:
 		return "xp-ack"
+	case KindHomeFlush:
+		return "home-flush"
+	case KindPageReq:
+		return "page-req"
+	case KindPageReply:
+		return "page-reply"
 	default:
 		return "?"
 	}

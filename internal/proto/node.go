@@ -1,9 +1,35 @@
-// Package proto implements a TreadMarks-style software DSM protocol engine:
-// lazy release consistency maintained with vector timestamps, intervals and
-// write notices; a multiple-writer twin/diff scheme; distributed queue-based
-// locks with ownership caching; a centralized barrier manager; non-binding
-// prefetching with a separate prefetch diff cache; and diff garbage
-// collection.
+// Package proto implements the software DSM protocol engine as a chassis
+// plus pluggable policy subsystems. The chassis (Node) owns the state every
+// backend shares — vector time, interval records, page table, diff store,
+// in-flight fetch table, reliable transport — and delegates policy to the
+// Coherence, SyncManager, Prefetcher and DiffGC implementations selected by
+// a declarative Config through the protocol registry.
+//
+// Registered backends: "lrc" (TreadMarks-style lazy release consistency,
+// the default), "erc" (eager release consistency: notices broadcast at
+// every release), and "hlrc" (home-based LRC: diffs flushed to per-page
+// homes at release, whole-page fetches at fault time, no diff GC).
+//
+// File ownership:
+//
+//	protocol.go   Config and the subsystem interfaces
+//	registry.go   backend registry (Register/Lookup/Names) and builders
+//	node.go       the Node chassis: construction, page table, dispatch
+//	intervals.go  interval records, write notices, vector-time intake
+//	diffstore.go  diff storage, lazy own-diff creation, causal apply
+//	lrc.go        lrcCoherence: demand diff fetch, eager-RC broadcast
+//	prefetch.go   lrcPrefetcher: non-binding prefetch issue policy
+//	locks.go      syncManager: distributed queue locks with token caching
+//	barrier.go    syncManager: centralized barrier manager
+//	gc.go         lrcGC (diff garbage collection) and noGC
+//	hlrc.go       hlrcCoherence: protocol overview, types, release flush
+//	hlrchome.go   hlrc home side: flush apply, parked requests, page serve
+//	hlrcfault.go  hlrc requester side: whole-page fetch, home-local faults
+//	hlrcpf.go     hlrcPrefetcher: whole-page prefetch cache
+//	messages.go   wire message kinds and payload types
+//	costs.go      CPU cost model and the sanctioned send choke points
+//	transport.go  reliable ack/retransmit transport (fault injection)
+//	errors.go     InvariantError and deterministic failure dumps
 //
 // Each simulated processor owns one Node. Nodes communicate only through
 // the simulated network and execute protocol work on their simulated CPU,
@@ -11,8 +37,6 @@
 package proto
 
 import (
-	"sort"
-
 	"godsm/internal/event"
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
@@ -20,7 +44,7 @@ import (
 	"godsm/internal/sim"
 )
 
-// Node is one processor's protocol engine.
+// Node is one processor's protocol engine chassis.
 type Node struct {
 	ID int
 	N  int // number of processors
@@ -37,6 +61,12 @@ type Node struct {
 	Store *pagemem.Store
 
 	mt bool // multithreading active: arrivals pay the async-signal surcharge
+
+	// Policy subsystems, built by the configured backend (registry.go).
+	coh  Coherence
+	pfr  Prefetcher
+	sync SyncManager
+	gc   DiffGC
 
 	// Lazy release consistency state.
 	vc  lrc.VC
@@ -62,52 +92,16 @@ type Node struct {
 
 	// Prefetch state, by page.
 	pf        map[pagemem.PageID]*pfState
-	pfHeap    int64 // bytes in the prefetch diff cache (the "separate heap")
+	pfHeap    int64 // bytes in the prefetch cache (the "separate heap")
 	diffBytes int64 // bytes of ordinary stored diffs (GC accounting)
 
-	locks    map[int]*lockState
-	barrier  *barrierState // non-nil only on the barrier manager (node 0)
-	barWait  func()        // continuation for an in-progress barrier wait
-	barStart sim.Time      // when this node arrived at the barrier
-
 	// Deferred invalidations (barrier-manager server role; see
-	// recordDeferred).
+	// recordDeferred in intervals.go).
 	deferredInval []*lrc.Interval
 	deferredSet   map[lrc.IntervalID]bool
 
-	// Garbage collection state (gc.go).
-	gcBase   lrc.VC   // records below this vector time have been collected
-	gcResume func()   // stashed barrier release during a collection
-	gcStart  sim.Time // when the current collection began
-
-	// ThrottlePf > 0 drops every ThrottlePf-th prefetch at issue time
-	// (Section 5.1's RADIX optimization).
-	ThrottlePf int
-	pfCounter  int
-
-	// GCThreshold triggers diff garbage collection at barriers once
-	// diffBytes exceeds it. Zero disables GC.
-	GCThreshold int64
-
-	// Ablation switches (see the harness's ablation experiment).
-
-	// NoTokenCache returns the lock token to its manager at every release
-	// (centralized locks): no last-holder re-acquire, and every acquire
-	// pays the manager round trip.
-	NoTokenCache bool
-	// PfReliable makes prefetch messages reliable (never dropped), so
-	// congested prefetches queue instead of falling back to demand fetches.
-	PfReliable bool
-	// PfHeapSharedGC counts the prefetch diff cache toward the GC trigger,
-	// removing the paper's separate-heap relief (footnote 6).
-	PfHeapSharedGC bool
-
-	// EagerRC broadcasts write notices to every node at each release —
-	// eager release consistency (Munin-style), the protocol TreadMarks's
-	// laziness is measured against (Keleher et al.). Invalidations arrive
-	// ahead of synchronization; the consistency metadata still flows
-	// through the synchronization messages.
-	EagerRC bool
+	// gcBase: records below this vector time have been collected (gc.go).
+	gcBase lrc.VC
 
 	// Reliable transport state, one peer per remote node; nil until
 	// EnableTransport (transport.go). Nil means fiat delivery.
@@ -137,14 +131,25 @@ type fetch struct {
 }
 
 type pfState struct {
-	requested map[lrc.IntervalID]bool // diffs the prefetch asked for
+	requested map[lrc.IntervalID]bool // intervals the prefetch asked for
 	inflight  int                     // outstanding request messages
 }
 
-// NewNode constructs a protocol node. Wire Send before use. Protocol
-// occurrences are emitted on k's event bus; subscribe a stats.Collector to
-// derive per-node counters.
-func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs) *Node {
+// NewNode constructs a protocol node running the backend cfg selects. Wire
+// Send before use. Protocol occurrences are emitted on k's event bus;
+// subscribe a stats.Collector to derive per-node counters. NewNode panics
+// on an invalid Config — callers validate user input with ValidateConfig
+// first.
+func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs, cfg Config) *Node {
+	b, err := Lookup(cfg.Protocol)
+	if err != nil {
+		configInvariantf("proto: %v", err)
+	}
+	if b.Validate != nil {
+		if err := b.Validate(cfg); err != nil {
+			configInvariantf("proto: %v", err)
+		}
+	}
 	nd := &Node{
 		ID:      id,
 		N:       n,
@@ -159,12 +164,13 @@ func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs) *Node {
 		pages:   make(map[pagemem.PageID]*pageState),
 		fetches: make(map[pagemem.PageID]*fetch),
 		pf:      make(map[pagemem.PageID]*pfState),
-		locks:   make(map[int]*lockState),
 		gcBase:  lrc.NewVC(n),
 	}
-	if id == 0 {
-		nd.barrier = &barrierState{}
-	}
+	sub := b.Build(nd, cfg)
+	nd.coh = sub.Coherence
+	nd.pfr = sub.Prefetch
+	nd.sync = sub.Sync
+	nd.gc = sub.GC
 	return nd
 }
 
@@ -202,7 +208,7 @@ func (n *Node) Frame(p pagemem.PageID) []byte { return n.Store.Frame(p) }
 // EnsureWritable prepares a valid page for local modification: on the first
 // write since the page was last clean it creates the twin and records the
 // pending write notice for the current open interval. The page must be
-// valid. Returns the CPU cost charged (already applied as DSM overhead).
+// valid.
 func (n *Node) EnsureWritable(p pagemem.PageID) {
 	ps := n.page(p)
 	if len(ps.pending) != 0 {
@@ -218,330 +224,29 @@ func (n *Node) EnsureWritable(p pagemem.PageID) {
 	n.CPU.Service(n.C.TwinMake, sim.CatDSM)
 }
 
-// closeInterval ends the current open interval, publishing write notices
-// for every page twinned during it. Returns the new interval record, or nil
-// if the interval was empty (no pages twinned).
-func (n *Node) closeInterval() *lrc.Interval {
-	if len(n.pendingNotices) == 0 {
-		return nil
-	}
-	pages := append([]pagemem.PageID(nil), n.pendingNotices...)
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	n.pendingNotices = n.pendingNotices[:0]
+// Fault resolves an access to an invalid page through the backend's
+// coherence policy. See Coherence.Fault.
+func (n *Node) Fault(p pagemem.PageID, onValid func()) { n.coh.Fault(p, onValid) }
 
-	n.vc[n.ID]++
-	iv := &lrc.Interval{
-		ID:    lrc.IntervalID{Node: n.ID, Seq: n.vc[n.ID]},
-		VC:    n.vc.Clone(),
-		Pages: pages,
-	}
-	n.bus.Emit(event.IntervalClose(n.ID, iv.ID.Seq, len(iv.Pages)))
-	n.ivs[n.ID] = append(n.ivs[n.ID], iv)
-	n.ownSinceBarrier = append(n.ownSinceBarrier, iv)
-	for _, p := range pages {
-		ps := n.page(p)
-		if ps.hasUndiffed {
-			n.pageInvariantf(p, "page %d already has an undiffed notice", p)
-		}
-		ps.undiffed = iv.ID
-		ps.hasUndiffed = true
-	}
-	n.CPU.Service(n.C.IntervalOp, sim.CatDSM)
-	if n.EagerRC {
-		n.broadcastNotice(iv)
-	}
-	return iv
-}
+// Prefetch issues a non-binding prefetch through the backend's policy,
+// returning the number of request messages sent.
+func (n *Node) Prefetch(p pagemem.PageID) int { return n.pfr.Prefetch(p) }
 
-// broadcastNotice pushes a just-closed interval's write notices to every
-// other node (eager release consistency).
-func (n *Node) broadcastNotice(iv *lrc.Interval) {
-	size := n.C.HeaderBytes + 8 + 4*n.N + n.C.PerNoticeByt*len(iv.Pages)
-	var cost sim.Time
-	for q := 0; q < n.N; q++ {
-		if q == n.ID {
-			continue
-		}
-		cost += n.C.MsgSend
-		done := n.CPU.Service(cost, sim.CatDSM)
-		cost = 0
-		n.sendAfter(done, &netsim.Message{
-			Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(q),
-			Size: size, Reliable: true, Kind: KindEagerNotice,
-			Payload: &msgEagerNotice{Iv: iv},
-		})
-	}
-}
+// AcquireLock acquires lock id (see SyncManager.AcquireLock).
+func (n *Node) AcquireLock(id int, onGranted func()) bool { return n.sync.AcquireLock(id, onGranted) }
 
-// handleEagerNotice records and applies an eagerly-pushed write notice.
-// Only the creator's own vector entry is advanced: per-pair FIFO delivery
-// guarantees the creator's records arrive contiguously, and advancing it
-// keeps this node's subsequent intervals causally after the data they may
-// come to depend on. Third-party entries of the interval's VC are NOT
-// merged (their records may not have arrived yet).
-func (n *Node) handleEagerNotice(m *msgEagerNotice) {
-	iv := m.Iv
-	cost := n.recordInterval(iv)
-	if n.vc[iv.ID.Node] < iv.ID.Seq {
-		n.vc[iv.ID.Node] = iv.ID.Seq
-	}
-	n.CPU.Service(cost, sim.CatDSM)
-}
+// ReleaseLock releases lock id (see SyncManager.ReleaseLock).
+func (n *Node) ReleaseLock(id int) { n.sync.ReleaseLock(id) }
 
-// recordInterval adds a received interval record and invalidates the pages
-// it names. Duplicate records are ignored, except that a record previously
-// taken in deferred (server role — see recordDeferred) is invalidated now.
-// Returns the CPU cost to charge.
-func (n *Node) recordInterval(iv *lrc.Interval) sim.Time {
-	q := iv.ID.Node
-	if q == n.ID {
-		return 0 // our own intervals are always already recorded
-	}
-	idx := int(iv.ID.Seq) - 1
-	for len(n.ivs[q]) <= idx {
-		n.ivs[q] = append(n.ivs[q], nil)
-	}
-	if n.ivs[q][idx] != nil {
-		if n.deferredSet[iv.ID] {
-			delete(n.deferredSet, iv.ID)
-			n.invalidate(iv)
-			return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
-		}
-		return 0
-	}
-	n.ivs[q][idx] = iv
-	n.bus.Emit(event.NoticeIn(n.ID, iv.ID.Node, iv.ID.Seq, len(iv.Pages)))
-	n.invalidate(iv)
-	return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
-}
+// Barrier arrives at barrier id (see SyncManager.Barrier).
+func (n *Node) Barrier(id int, onRelease func()) { n.sync.Barrier(id, onRelease) }
 
-// invalidate marks iv's pages pending at this node.
-func (n *Node) invalidate(iv *lrc.Interval) {
-	for _, p := range iv.Pages {
-		ps := n.page(p)
-		ps.pending = append(ps.pending, iv.ID)
-	}
-}
+// PfHeapBytes returns the current size of the prefetch cache (the
+// "separate heap managed by the garbage collector" in the paper).
+func (n *Node) PfHeapBytes() int64 { return n.pfHeap }
 
-// recordDeferred stores an interval record WITHOUT invalidating local pages.
-// The barrier manager uses it for arrival intervals: acting as a server, it
-// must be able to forward the records at release, but its own memory view
-// must not change until it passes the barrier itself — otherwise diffs
-// applied mid-critical-section would not be covered by its next interval's
-// vector time, and third-party readers would order dependent writes
-// backwards. flushDeferred performs the postponed invalidations.
-func (n *Node) recordDeferred(iv *lrc.Interval) sim.Time {
-	q := iv.ID.Node
-	if q == n.ID {
-		return 0
-	}
-	idx := int(iv.ID.Seq) - 1
-	for len(n.ivs[q]) <= idx {
-		n.ivs[q] = append(n.ivs[q], nil)
-	}
-	if n.ivs[q][idx] != nil {
-		return 0 // already recorded (and invalidated) through a sync path
-	}
-	n.ivs[q][idx] = iv
-	n.bus.Emit(event.NoticeIn(n.ID, iv.ID.Node, iv.ID.Seq, len(iv.Pages)))
-	if n.deferredSet == nil {
-		n.deferredSet = make(map[lrc.IntervalID]bool)
-	}
-	n.deferredSet[iv.ID] = true
-	n.deferredInval = append(n.deferredInval, iv)
-	return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
-}
-
-// flushDeferred invalidates every deferred record that has not been
-// invalidated through another path meanwhile.
-func (n *Node) flushDeferred() {
-	for _, iv := range n.deferredInval {
-		if n.deferredSet[iv.ID] {
-			delete(n.deferredSet, iv.ID)
-			n.invalidate(iv)
-		}
-	}
-	n.deferredInval = n.deferredInval[:0]
-}
-
-// intake processes a batch of interval records plus the sender's vector
-// time, as delivered by a lock grant or barrier release. It returns the
-// CPU cost to charge.
-func (n *Node) intake(ivs []*lrc.Interval, v lrc.VC) sim.Time {
-	var cost sim.Time
-	for _, iv := range ivs {
-		cost += n.recordInterval(iv)
-	}
-	n.vc.Merge(v)
-	n.checkContiguity()
-	return cost
-}
-
-// checkContiguity asserts the protocol invariant that the node holds a
-// record for every interval its vector time covers.
-func (n *Node) checkContiguity() {
-	for q := 0; q < n.N; q++ {
-		if q == n.ID {
-			continue
-		}
-		if int32(len(n.ivs[q])) < n.vc[q] {
-			n.invariantf("node %d VC[%d]=%d but only %d records",
-				n.ID, q, n.vc[q], len(n.ivs[q]))
-		}
-		for s := n.gcBase[q]; s < n.vc[q]; s++ {
-			if n.ivs[q][s] == nil {
-				n.invariantf("node %d missing record (%d,%d) under VC %v",
-					n.ID, q, s+1, n.vc)
-			}
-		}
-	}
-}
-
-// missingIvs returns the interval records this node knows about that are
-// not covered by v, excluding intervals created by `exclude` (pass -1 to
-// exclude none). Used to build lock grants and barrier releases.
-func (n *Node) missingIvs(v lrc.VC, exclude int) []*lrc.Interval {
-	var out []*lrc.Interval
-	for q := 0; q < n.N; q++ {
-		if q == exclude {
-			continue
-		}
-		for s := v[q]; s < n.vc[q]; s++ {
-			iv := n.ivs[q][s]
-			if iv == nil {
-				n.invariantf("missingIvs hit a gap at (%d,%d)", q, s+1)
-			}
-			out = append(out, iv)
-		}
-	}
-	return out
-}
-
-// storedDiff fetches a stored diff; ok distinguishes "stored as empty".
-func (n *Node) storedDiff(id lrc.IntervalID, p pagemem.PageID) (*pagemem.Diff, bool) {
-	m, ok := n.diffs[id]
-	if !ok {
-		return nil, false
-	}
-	d, ok := m[p]
-	return d, ok
-}
-
-func (n *Node) putDiff(id lrc.IntervalID, p pagemem.PageID, d *pagemem.Diff, prefetched bool) {
-	m, ok := n.diffs[id]
-	if !ok {
-		m = make(map[pagemem.PageID]*pagemem.Diff)
-		n.diffs[id] = m
-	}
-	if _, dup := m[p]; dup {
-		return
-	}
-	m[p] = d
-	if prefetched {
-		n.pfHeap += int64(d.WireSize())
-	} else {
-		n.diffBytes += int64(d.WireSize())
-	}
-}
-
-// makeOwnDiff lazily creates the diff for this node's undiffed write notice
-// on page p (if any), clearing the twin. Returns the CPU cost incurred.
-func (n *Node) makeOwnDiff(p pagemem.PageID) sim.Time {
-	ps := n.page(p)
-	if !ps.twinned {
-		return 0
-	}
-	twin := n.Store.Twin(p)
-	frame := n.Store.Frame(p)
-	d := pagemem.MakeDiff(p, twin, frame)
-	db := 0
-	if d != nil {
-		db = d.DataBytes()
-	}
-	n.bus.Emit(event.DiffMake(n.ID, int64(p), db))
-	cost := n.C.DiffMake + sim.Time(n.C.DiffScanNs*float64(pagemem.PageSize))
-	n.Store.DropTwin(p)
-	ps.twinned = false
-
-	// Attribute the diff to the undiffed notice. If the page was twinned
-	// during the still-open interval (no closed notice yet), close the
-	// interval now — the paper's "interval split" on prefetch of a dirty
-	// page; demand requests can only name closed notices, so for them the
-	// undiffed notice always exists.
-	if !ps.hasUndiffed {
-		if iv := n.closeInterval(); iv == nil || !ps.hasUndiffed {
-			n.pageInvariantf(p, "dirty page %d without a notice after interval close", p)
-		}
-	}
-	id := ps.undiffed
-	ps.hasUndiffed = false
-	if d == nil {
-		d = &pagemem.Diff{Page: p} // store an explicit empty diff
-	}
-	n.putDiff(id, p, d, false)
-	return cost
-}
-
-// applyPending applies every pending diff for p, in causal order, to the
-// local frame. All pending diffs must be present locally. Returns the CPU
-// cost.
-//
-// If the page is locally dirty, the node's own modifications are committed
-// as a diff FIRST (TreadMarks's rule). Otherwise later local writes —
-// which may causally depend on the remote data being applied now — would
-// ride in the old (concurrent) interval's lazily-created diff, and a third
-// node applying diffs in causal order would order the dependency backwards.
-func (n *Node) applyPending(p pagemem.PageID) sim.Time {
-	ps := n.page(p)
-	if len(ps.pending) == 0 {
-		return 0
-	}
-	var cost sim.Time
-	if ps.twinned {
-		cost += n.makeOwnDiff(p)
-	}
-
-	ivs := make([]*lrc.Interval, 0, len(ps.pending))
-	for _, id := range ps.pending {
-		iv := n.ivs[id.Node][id.Seq-1]
-		if iv == nil {
-			n.pageInvariantf(p, "pending interval %v on page %d without record", id, p)
-		}
-		ivs = append(ivs, iv)
-	}
-	lrc.SortCausally(ivs)
-
-	frame := n.Store.Frame(p)
-	for _, iv := range ivs {
-		d, ok := n.storedDiff(iv.ID, p)
-		if !ok {
-			n.pageInvariantf(p, "node %d applying page %d without diff for %v",
-				n.ID, p, iv.ID)
-		}
-		if d != nil && len(d.Runs) > 0 {
-			n.bus.Emit(event.DiffApply(n.ID, int64(p), d.DataBytes()))
-			d.Apply(frame)
-			cost += n.C.DiffApply + sim.Time(n.C.ApplyNs*float64(d.DataBytes()))
-		} else {
-			cost += n.C.DiffApply / 2
-		}
-	}
-	ps.pending = ps.pending[:0]
-	return cost
-}
-
-// missingDiffs lists the pending intervals for p whose diffs are not yet
-// held locally.
-func (n *Node) missingDiffs(p pagemem.PageID) []lrc.IntervalID {
-	ps := n.page(p)
-	var out []lrc.IntervalID
-	for _, id := range ps.pending {
-		if _, ok := n.storedDiff(id, p); !ok {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+// DiffHeapBytes returns the bytes of ordinary stored diffs.
+func (n *Node) DiffHeapBytes() int64 { return n.diffBytes }
 
 // Deliver receives an arriving network message. It charges receive-side
 // CPU costs (plus the async-signal surcharge under multithreading), filters
@@ -561,39 +266,17 @@ func (n *Node) Deliver(m *netsim.Message) {
 	n.dispatch(m)
 }
 
-// dispatch runs the protocol handler for one in-order message.
+// dispatch routes one in-order message through the subsystem handlers; a
+// message no subsystem owns is a protocol invariant violation.
 func (n *Node) dispatch(m *netsim.Message) {
-	switch pl := m.Payload.(type) {
-	case *msgDiffReq:
-		n.handleDiffReq(pl)
-	case *msgDiffReply:
-		n.handleDiffReply(pl)
-	case *msgLockAcq:
-		switch m.Kind {
-		case KindLockAcq:
-			n.handleLockAcqAtManager(pl)
-		case KindLockRetry:
-			n.handleLockRetry(pl)
-		default:
-			n.handleLockForward(pl)
-		}
-	case *msgLockGrant:
-		if m.Kind == KindLockReturn {
-			n.handleLockReturn(pl)
-		} else {
-			n.handleLockGrant(pl)
-		}
-	case *msgBarArrive:
-		n.handleBarArrive(pl)
-	case *msgBarRelease:
-		n.handleBarRelease(pl)
-	case *msgEagerNotice:
-		n.handleEagerNotice(pl)
-	case *msgGCDone:
-		n.gcDoneAtManager(pl.From)
-	case *msgGCFlush:
-		n.handleGCFlush()
-	default:
-		n.invariantf("node %d: unknown message payload %T (kind %s)", n.ID, m.Payload, KindName(m.Kind))
+	if n.sync.Handle(m) {
+		return
 	}
+	if n.coh.Handle(m) {
+		return
+	}
+	if n.gc.Handle(m) {
+		return
+	}
+	n.invariantf("node %d: unknown message payload %T (kind %s)", n.ID, m.Payload, KindName(m.Kind))
 }

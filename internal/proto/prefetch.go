@@ -8,6 +8,16 @@ import (
 	"godsm/internal/sim"
 )
 
+// lrcPrefetcher is the diff-based non-binding prefetch policy shared by the
+// LRC and ERC backends: prefetch replies land diffs in the separate
+// prefetch cache and are applied at the real access.
+type lrcPrefetcher struct {
+	n        *Node
+	throttle int  // drop every throttle-th prefetch (0 = never)
+	counter  int  // dynamic prefetch count for the throttle
+	reliable bool // send prefetch traffic reliably
+}
+
 // Prefetch issues a software-controlled non-binding prefetch for page p,
 // as inserted by the application (Section 3 of the paper). The call is
 // non-blocking: replies land in the prefetch diff cache and are applied at
@@ -18,14 +28,15 @@ import (
 //
 // It returns the number of request messages issued (0 for a dropped
 // prefetch), which the caller can use for pacing decisions.
-func (n *Node) Prefetch(p pagemem.PageID) int {
+func (pf *lrcPrefetcher) Prefetch(p pagemem.PageID) int {
+	n := pf.n
 	n.bus.Emit(event.PfCall(n.ID, int64(p)))
 
 	// Section 5.1: optional throttling (used for RADIX) discards a
 	// fraction of dynamic prefetches to relieve the network.
-	if n.ThrottlePf > 0 {
-		n.pfCounter++
-		if n.pfCounter%n.ThrottlePf == 0 {
+	if pf.throttle > 0 {
+		pf.counter++
+		if pf.counter%pf.throttle == 0 {
 			n.bus.Emit(event.PfThrottle(n.ID, int64(p)))
 			n.CPU.Service(n.C.PfCheck, sim.CatPrefetchOv)
 			return 0
@@ -66,7 +77,7 @@ func (n *Node) Prefetch(p pagemem.PageID) int {
 			Src:      netsim.NodeID(n.ID),
 			Dst:      netsim.NodeID(node),
 			Size:     n.C.HeaderBytes + n.C.ReqBytes + 8*len(ids),
-			Reliable: n.PfReliable,
+			Reliable: pf.reliable,
 			Kind:     KindPfReq,
 			Payload:  &msgDiffReq{From: n.ID, Page: p, Wants: ids, Prefetch: true},
 		})
@@ -83,10 +94,3 @@ func (n *Node) Prefetch(p pagemem.PageID) int {
 	}
 	return len(msgs)
 }
-
-// PfHeapBytes returns the current size of the prefetch diff cache (the
-// "separate heap managed by the garbage collector" in the paper).
-func (n *Node) PfHeapBytes() int64 { return n.pfHeap }
-
-// DiffHeapBytes returns the bytes of ordinary stored diffs.
-func (n *Node) DiffHeapBytes() int64 { return n.diffBytes }

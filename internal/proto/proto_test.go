@@ -19,7 +19,11 @@ type rig struct {
 	costs Costs
 }
 
-func newRig(n int) *rig {
+func newRig(n int) *rig { return newRigCfg(n, Config{}) }
+
+// newRigCfg builds a rig whose nodes run under cfg (protocol selection and
+// per-backend knobs).
+func newRigCfg(n int, cfg Config) *rig {
 	r := &rig{k: sim.NewKernel(), costs: DefaultCosts()}
 	r.st = make([]stats.Node, n)
 	r.k.Bus().Subscribe(stats.NewCollector(r.st))
@@ -27,7 +31,7 @@ func newRig(n int) *rig {
 		r.nodes[m.Dst].Deliver(m)
 	})
 	for i := 0; i < n; i++ {
-		nd := NewNode(i, n, r.k, sim.NewCPU(r.k), &r.costs)
+		nd := NewNode(i, n, r.k, sim.NewCPU(r.k), &r.costs, cfg)
 		nd.Send = r.net.Send
 		r.nodes = append(r.nodes, nd)
 	}

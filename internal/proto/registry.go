@@ -1,0 +1,142 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"godsm/internal/lrc"
+	"godsm/internal/pagemem"
+)
+
+// Backend is one registered coherence protocol: a name, a one-line
+// description, an optional config validator, and a builder producing the
+// per-node subsystem set.
+type Backend struct {
+	Name string
+	Doc  string
+
+	// Validate rejects Config combinations the backend cannot honor; nil
+	// accepts everything.
+	Validate func(cfg Config) error
+
+	// Build constructs the backend's subsystems for one node. It runs
+	// during NewNode, after the chassis state is initialized.
+	Build func(n *Node, cfg Config) Subsystems
+}
+
+// The registry is populated at init time (and by tests); simulations only
+// read it, so no locking is needed beyond Go's init ordering.
+var registry = map[string]*Backend{}
+
+// Register adds a backend to the protocol registry. It panics on a
+// duplicate or empty name — registration happens at init time, where a
+// conflict is a programming error.
+func Register(b *Backend) {
+	if b.Name == "" {
+		configInvariantf("proto: Register with empty backend name")
+	}
+	if _, dup := registry[b.Name]; dup {
+		configInvariantf("proto: duplicate backend %s", b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Lookup resolves a protocol name to its backend. The empty name resolves
+// to the default ("lrc"). Unknown names return an error listing the
+// registered protocols.
+func Lookup(name string) (*Backend, error) {
+	if name == "" {
+		name = "lrc"
+	}
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (registered: %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names returns the registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateConfig checks that cfg names a registered backend and that the
+// backend accepts its knob combination.
+func ValidateConfig(cfg Config) error {
+	b, err := Lookup(cfg.Protocol)
+	if err != nil {
+		return err
+	}
+	if b.Validate != nil {
+		return b.Validate(cfg)
+	}
+	return nil
+}
+
+func init() {
+	Register(&Backend{
+		Name:  "lrc",
+		Doc:   "TreadMarks-style lazy release consistency: distributed diff fetch at fault time, diff GC at barriers",
+		Build: buildDiffBased(false),
+	})
+	Register(&Backend{
+		Name:  "erc",
+		Doc:   "eager release consistency (Munin-style): write notices broadcast at every release; data still moves as lazy diffs",
+		Build: buildDiffBased(true),
+	})
+	Register(&Backend{
+		Name:     "hlrc",
+		Doc:      "home-based LRC: writers flush diffs to each page's home at release; faults fetch the whole page from home; no diff GC",
+		Validate: validateHLRC,
+		Build:    buildHLRC,
+	})
+}
+
+// buildDiffBased builds the shared LRC/ERC subsystem set; eager selects the
+// eager-release-consistency notice broadcast at interval close.
+func buildDiffBased(eager bool) func(n *Node, cfg Config) Subsystems {
+	return func(n *Node, cfg Config) Subsystems {
+		coh := &lrcCoherence{n: n, eager: eager, pfReliable: cfg.PfReliable}
+		return Subsystems{
+			Coherence: coh,
+			Prefetch:  &lrcPrefetcher{n: n, throttle: cfg.ThrottlePf, reliable: cfg.PfReliable},
+			Sync:      newSyncManager(n, cfg.NoTokenCache),
+			GC:        &lrcGC{n: n, threshold: cfg.GCThreshold, sharedPfHeap: cfg.PfHeapSharedGC},
+		}
+	}
+}
+
+func validateHLRC(cfg Config) error {
+	if cfg.GCThreshold != 0 {
+		return fmt.Errorf("protocol hlrc has no diff GC (homes apply diffs eagerly); GCThreshold must be 0, got %d", cfg.GCThreshold)
+	}
+	if cfg.PfHeapSharedGC {
+		return fmt.Errorf("protocol hlrc has no diff GC; PfHeapSharedGC does not apply")
+	}
+	return nil
+}
+
+func buildHLRC(n *Node, cfg Config) Subsystems {
+	pf := &hlrcPrefetcher{
+		n: n, throttle: cfg.ThrottlePf, reliable: cfg.PfReliable,
+		cache: make(map[pagemem.PageID]*pfPage),
+	}
+	coh := &hlrcCoherence{
+		n: n, pf: pf, pfReliable: cfg.PfReliable,
+		applied: make(map[pagemem.PageID]lrc.VC),
+		parked:  make(map[pagemem.PageID][]*msgPageReq),
+		asked:   make(map[pagemem.PageID]map[lrc.IntervalID]bool),
+	}
+	pf.coh = coh
+	return Subsystems{
+		Coherence: coh,
+		Prefetch:  pf,
+		Sync:      newSyncManager(n, cfg.NoTokenCache),
+		GC:        noGC{n: n},
+	}
+}

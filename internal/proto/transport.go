@@ -86,6 +86,18 @@ func sequenced(k netsim.Kind) bool {
 	return k != KindPfReq && k != KindPfReply && k != KindAck
 }
 
+// pfReplyPage extracts the page id from a prefetch reply payload, which is
+// a diff reply under the diff-based backends and a page reply under HLRC.
+func pfReplyPage(payload any) int64 {
+	switch pl := payload.(type) {
+	case *msgDiffReply:
+		return int64(pl.Page)
+	case *msgPageReply:
+		return int64(pl.Page)
+	}
+	return -1
+}
+
 // xmit is the node's single transmission choke point. Without transport (or
 // for loopback and unsequenced kinds) it is a plain network send; otherwise
 // it assigns the sequence number, records the frame for retransmission, and
@@ -94,7 +106,7 @@ func (n *Node) xmit(m *netsim.Message) {
 	if n.xp == nil || m.Src == m.Dst || !sequenced(m.Kind) {
 		//dsmvet:allow chargecost — transport choke point; the charge was paid at the sendAfter call site
 		if n.Send(m) < 0 && m.Kind == KindPfReply {
-			n.bus.Emit(event.PfReplyDrop(n.ID, int64(m.Payload.(*msgDiffReply).Page)))
+			n.bus.Emit(event.PfReplyDrop(n.ID, pfReplyPage(m.Payload)))
 		}
 		return
 	}

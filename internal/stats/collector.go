@@ -73,6 +73,12 @@ func (c *Collector) Event(e event.Event) {
 		n.GCRuns++
 	case event.KindGCDone:
 		n.GCTime += e.Arg
+	case event.KindHomeFlush:
+		n.HomeFlushes++
+		n.HomeFlushBytes += e.Arg
+	case event.KindHomeFetch:
+		n.HomeFetches++
+		n.HomeFetchBytes += e.Arg
 	case event.KindXpTimeout:
 		n.Timeouts++
 	case event.KindXpRetransmit:

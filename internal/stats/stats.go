@@ -58,6 +58,14 @@ type Node struct {
 	DiffsApplied int64
 	TwinsMade    int64
 
+	// Home-based coherence (only nonzero under the HLRC backend): diff
+	// flushes pushed to page homes at release, and whole-page fetches
+	// served by homes at fault time.
+	HomeFlushes    int64
+	HomeFlushBytes int64
+	HomeFetches    int64
+	HomeFetchBytes int64
+
 	// Reliable transport (only nonzero when a fault plan activates it).
 	Retransmits   int64    // frames re-sent after a timeout
 	Timeouts      int64    // retransmission timer firings
@@ -153,6 +161,10 @@ func (r *Report) Sum() Node {
 		t.DiffsMade += n.DiffsMade
 		t.DiffsApplied += n.DiffsApplied
 		t.TwinsMade += n.TwinsMade
+		t.HomeFlushes += n.HomeFlushes
+		t.HomeFlushBytes += n.HomeFlushBytes
+		t.HomeFetches += n.HomeFetches
+		t.HomeFetchBytes += n.HomeFetchBytes
 		t.Retransmits += n.Retransmits
 		t.Timeouts += n.Timeouts
 		t.AcksSent += n.AcksSent
