@@ -51,6 +51,9 @@ type benchResult struct {
 	SimRuns     int64             `json:"sim_runs"`
 	Speedup     float64           `json:"speedup_vs_sequential"`
 	Experiments []experimentTimes `json:"experiments"`
+	// Note records free-form context about the run environment (-note), so
+	// a snapshot taken on an atypical box explains itself.
+	Note string `json:"note,omitempty"`
 }
 
 type experimentTimes struct {
@@ -59,7 +62,7 @@ type experimentTimes struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5, ablation, netsweep, scaling, faults)")
+	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5, ablation, netsweep, scaling, faults, protocols, chaos, nodescale)")
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	appList := flag.String("apps", "", "comma-separated application subset (default all)")
@@ -67,6 +70,9 @@ func main() {
 	verify := flag.Bool("verify", false, "verify application output against sequential goldens")
 	workers := flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "BENCH_dsmbench.json", "write a machine-readable timing summary here ('' = off)")
+	note := flag.String("note", "", "free-form environment note recorded in the -json summary")
+	nsProcs := flag.String("nodescale-procs", "", "comma-separated processor sweep for the nodescale experiment (default 8,64,256,1024)")
+	nsJSON := flag.String("nodescale-json", "", "write the nodescale experiment's snapshot here ('' = off)")
 	flag.Parse()
 
 	sc, err := apps.ParseScale(*scale)
@@ -84,7 +90,17 @@ func main() {
 			fatal(fmt.Errorf("unknown protocol %q (registered: %v)", *protocol, dsm.Protocols()))
 		}
 	}
-	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify, Workers: *workers, Protocol: *protocol}
+	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify, Workers: *workers, Protocol: *protocol,
+		NodeScaleJSON: *nsJSON}
+	if *nsProcs != "" {
+		for _, f := range strings.Split(*nsProcs, ",") {
+			var p int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil || p < 1 {
+				fatal(fmt.Errorf("bad -nodescale-procs entry %q", f))
+			}
+			opt.NodeScaleProcs = append(opt.NodeScaleProcs, p)
+		}
+	}
 	if *appList != "" {
 		for _, a := range strings.Split(*appList, ",") {
 			name := strings.TrimSpace(a)
@@ -171,6 +187,7 @@ func main() {
 			SimRuns:     simRuns,
 			Speedup:     speedup,
 			Experiments: times,
+			Note:        *note,
 		}
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

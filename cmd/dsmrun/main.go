@@ -7,13 +7,25 @@
 //	dsmrun -app SOR [-procs 8] [-threads 1] [-prefetch]
 //	       [-switch-miss] [-switch-sync] [-scale unit|small|paper]
 //	       [-protocol lrc|erc|hlrc] [-gc-threshold N]
+//	       [-topology single|fattree] [-fattree-radix N]
+//	       [-barrier central|tree] [-barrier-fanout N]
+//	       [-gossip] [-gossip-fanout N] [-gossip-seed N]
 //	       [-throttle N] [-verify] [-workers N]
 //	       [-loss P] [-dup P] [-fault-seed N] [-trace out.json]
 //
 // -protocol selects the coherence backend from the protocol registry
 // (default lrc, the TreadMarks baseline). Unknown names and knob
 // combinations the backend cannot honor (e.g. hlrc with -gc-threshold,
-// which only the diff-based backends use) are rejected up front.
+// which only the diff-based backends use) are rejected up front — as are
+// machine shapes the simulator cannot build, like a fat tree over a
+// non-power-of-two -procs.
+//
+// -topology, -barrier and -gossip select the scalable-machine pieces (the
+// nodescale experiment's configuration): a multi-switch fat tree, the
+// combining-tree barrier, and gossip write-notice dissemination for the
+// diff-based protocols. The defaults — single switch, centralized barrier,
+// no gossip — are the paper's machine, byte-identical to every earlier
+// version of the simulator.
 //
 // A nonzero -loss or -dup enables deterministic fault injection (seeded by
 // -fault-seed) and automatically switches the protocol onto its reliable
@@ -57,6 +69,13 @@ func main() {
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
 	protocol := flag.String("protocol", "", "coherence protocol: "+strings.Join(dsm.Protocols(), ", ")+" (default lrc)")
 	gcThreshold := flag.Int64("gc-threshold", 0, "diff-GC trigger in bytes at barriers, diff-based protocols only (0 = off)")
+	topology := flag.String("topology", "", "interconnect topology: single (default, the paper's one-switch LAN) or fattree")
+	fatTreeRadix := flag.Int("fattree-radix", 0, "fat-tree downward ports per switch, a power of two >= 2 (0 = default)")
+	barrier := flag.String("barrier", "", "barrier algorithm: central (default) or tree (combining tree)")
+	barrierFanout := flag.Int("barrier-fanout", 0, "combining-tree arity, >= 2 (0 = default)")
+	gossip := flag.Bool("gossip", false, "disseminate write notices by gossip instead of erc's release broadcast (diff-based protocols only)")
+	gossipFanout := flag.Int("gossip-fanout", 0, "peers per gossip round (0 = default)")
+	gossipSeed := flag.Int64("gossip-seed", 0, "gossip peer-selection seed")
 	throttle := flag.Int("throttle", 0, "drop every k-th prefetch (0 = off)")
 	verify := flag.Bool("verify", false, "verify output against the sequential golden")
 	kinds := flag.Bool("kinds", false, "print per-message-kind traffic table")
@@ -87,14 +106,21 @@ func main() {
 		usageErr("-dup must be a probability in [0,1] (got %g)", *dup)
 	}
 	faultsOn := *loss > 0 || *dup > 0
-	seedSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "fault-seed" {
-			seedSet = true
-		}
-	})
-	if seedSet && !faultsOn {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["fault-seed"] && !faultsOn {
 		usageErr("-fault-seed given but fault injection is off; set -loss or -dup (or drop -fault-seed)")
+	}
+	// Reject dependent knobs whose master switch is off: silently ignoring
+	// them would run a different machine than the user asked for.
+	if set["fattree-radix"] && *topology != "fattree" {
+		usageErr("-fattree-radix given but -topology is not fattree")
+	}
+	if set["barrier-fanout"] && *barrier != "tree" {
+		usageErr("-barrier-fanout given but -barrier is not tree")
+	}
+	if (set["gossip-fanout"] || set["gossip-seed"]) && !*gossip {
+		usageErr("gossip knobs given but -gossip is off")
 	}
 	if faultsOn && *faultSeed == 0 {
 		usageErr("-fault-seed 0 is reserved (it reads as unset); pick a nonzero seed")
@@ -124,7 +150,14 @@ func main() {
 	cfg.Protocol = *protocol
 	cfg.GCThreshold = *gcThreshold
 	cfg.ThrottlePf = *throttle
-	if err := validateProtocol(cfg); err != nil {
+	cfg.Net.Topology = *topology
+	cfg.Net.FatTreeRadix = *fatTreeRadix
+	cfg.Barrier = *barrier
+	cfg.BarrierFanout = *barrierFanout
+	cfg.Gossip = *gossip
+	cfg.GossipFanout = *gossipFanout
+	cfg.GossipSeed = *gossipSeed
+	if err := validateMachine(cfg); err != nil {
 		usageErr("%v", err)
 	}
 	if faultsOn {
@@ -289,13 +322,15 @@ func printReport(app string, r *dsm.Report) {
 	}
 }
 
-// validateProtocol checks the protocol-selection flags against the registry
-// before anything simulates: -protocol must name a registered backend, and
-// the backend must accept the knob combination (hlrc, for example, has no
-// diff GC, so it rejects a nonzero -gc-threshold). Split from main so the
-// usage-error table test can exercise it directly.
-func validateProtocol(cfg dsm.Config) error {
-	return dsm.ValidateProtocolConfig(cfg)
+// validateMachine checks the machine- and protocol-selection flags before
+// anything simulates: -protocol must name a registered backend, the backend
+// must accept the knob combination (hlrc, for example, has no diff GC, so
+// it rejects a nonzero -gc-threshold), and the machine must be buildable —
+// a fat tree needs a power-of-two -procs, a combining tree an arity of at
+// least 2. Split from main so the usage-error table test can exercise it
+// directly.
+func validateMachine(cfg dsm.Config) error {
+	return dsm.ValidateMachineConfig(cfg)
 }
 
 func fatal(err error) {

@@ -7,16 +7,24 @@ import (
 	"godsm/dsm"
 )
 
-// TestValidateProtocol exercises the up-front protocol flag validation:
-// registered names pass (with any knobs they support), unknown names fail
-// with the registered list, and knob combinations a backend cannot honor
-// are rejected before anything simulates.
-func TestValidateProtocol(t *testing.T) {
+// TestValidateMachine exercises the up-front flag validation: registered
+// protocol names pass (with any knobs they support), unknown names fail
+// with the registered list, knob combinations a backend cannot honor are
+// rejected, and machine shapes the simulator cannot build — a fat tree
+// over a non-power-of-two -procs, a degenerate combining-tree arity — are
+// reported as plain usage errors instead of panics in core.NewSystem.
+func TestValidateMachine(t *testing.T) {
 	cases := []struct {
 		name        string
+		procs       int // 0 = leave DefaultConfig's 8
 		protocol    string
 		gcThreshold int64
 		eagerRC     bool
+		topology    string
+		radix       int
+		barrier     string
+		fanout      int
+		gossip      bool
 		wantErr     []string // substrings of the error; empty = valid
 	}{
 		{name: "default is lrc"},
@@ -35,17 +43,51 @@ func TestValidateProtocol(t *testing.T) {
 			wantErr: []string{"hlrc", "PfHeapSharedGC"}},
 		{name: "eager-rc switch conflicts with hlrc", protocol: "hlrc", eagerRC: true,
 			wantErr: []string{"EagerRC", "hlrc"}},
+
+		{name: "zero procs", procs: -1,
+			wantErr: []string{"Procs", "positive"}},
+		{name: "explicit single switch", topology: "single"},
+		{name: "fat tree at a power of two", procs: 64, topology: "fattree"},
+		{name: "fat tree with explicit radix", procs: 16, topology: "fattree", radix: 8},
+		{name: "unknown topology", topology: "hypercube",
+			wantErr: []string{"unknown topology", "hypercube"}},
+		{name: "fat tree rejects non-power-of-two procs", procs: 12, topology: "fattree",
+			wantErr: []string{"fattree", "12", "power-of-two"}},
+		{name: "fat tree rejects one node", procs: 1, topology: "fattree",
+			wantErr: []string{"fattree", "power-of-two"}},
+		{name: "fat tree rejects non-power-of-two radix", procs: 16, topology: "fattree", radix: 6,
+			wantErr: []string{"fattree", "radix 6"}},
+		{name: "combining tree", barrier: "tree"},
+		{name: "explicit central barrier", barrier: "central"},
+		{name: "unknown barrier", barrier: "butterfly",
+			wantErr: []string{"unknown barrier", "butterfly"}},
+		{name: "combining tree rejects arity below 2", barrier: "tree", fanout: 1,
+			wantErr: []string{"fanout 1", "arity >= 2"}},
+		{name: "gossip on erc", protocol: "erc", gossip: true},
+		{name: "gossip on lrc", protocol: "lrc", gossip: true},
+		{name: "hlrc rejects gossip", protocol: "hlrc", gossip: true,
+			wantErr: []string{"hlrc", "Gossip"}},
+		{name: "the full scaled machine", procs: 256, protocol: "erc",
+			topology: "fattree", barrier: "tree", gossip: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := dsm.DefaultConfig()
+			if tc.procs != 0 {
+				cfg.Procs = tc.procs
+			}
 			cfg.Protocol = tc.protocol
 			cfg.GCThreshold = tc.gcThreshold
 			cfg.EagerRC = tc.eagerRC
+			cfg.Net.Topology = tc.topology
+			cfg.Net.FatTreeRadix = tc.radix
+			cfg.Barrier = tc.barrier
+			cfg.BarrierFanout = tc.fanout
+			cfg.Gossip = tc.gossip
 			if tc.name == "hlrc rejects shared pf-heap gc" {
 				cfg.PfHeapSharedGC = true
 			}
-			err := validateProtocol(cfg)
+			err := validateMachine(cfg)
 			if len(tc.wantErr) == 0 {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -133,3 +133,13 @@ func ValidateProtocolConfig(cfg Config) error {
 	_, err := core.ProtoConfig(cfg)
 	return err
 }
+
+// ValidateMachineConfig checks the whole machine configuration — processor
+// and thread counts, interconnect topology (the fat tree needs power-of-two
+// node counts and radices), barrier and gossip knobs, and the protocol
+// combination — and reports the first problem as a plain error. NewSystem
+// panics on the same mistakes; front ends validate user input with this
+// first.
+func ValidateMachineConfig(cfg Config) error {
+	return core.ValidateMachine(cfg)
+}

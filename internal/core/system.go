@@ -50,6 +50,21 @@ type Config struct {
 	NoPfSuppress   bool // disable redundant-prefetch suppression (Sec. 5.1)
 	EagerRC        bool // eager release consistency (broadcast notices at release)
 
+	// Barrier selects the barrier implementation: "" or "central" is the
+	// paper's single-manager barrier at node 0; "tree" is the deterministic
+	// combining tree (BarrierFanout-ary, default 4), which bounds any one
+	// node's per-episode barrier work at large cluster sizes.
+	Barrier       string
+	BarrierFanout int
+
+	// Gossip disseminates write notices through seeded deterministic
+	// fanout-k push rounds instead of ERC's O(N) release broadcast (and
+	// pre-spreads notices under plain LRC). lrc/erc backends only.
+	Gossip         bool
+	GossipFanout   int      // peers pushed to per round (0 = default 2)
+	GossipSeed     int64    // seeds the per-node peer choice
+	GossipInterval sim.Time // round period (0 = default 50 µs)
+
 	// AccessNs is the busy cost charged per shared-memory access.
 	AccessNs sim.Time
 
@@ -98,13 +113,17 @@ type System struct {
 
 	// Measurement snapshot taken at EndMeasurement, so that verification
 	// reads after the timed region do not pollute the reported metrics.
-	snapped   bool
-	snapTime  sim.Time
-	snapNodes []stats.Node
-	snapCPUs  [][sim.NumCategories]sim.Time
-	snapMsgs  int64
-	snapBytes int64
-	snapDrops int64
+	snapped      bool
+	snapTime     sim.Time
+	snapNodes    []stats.Node
+	snapCPUs     [][sim.NumCategories]sim.Time
+	snapMsgs     int64
+	snapBytes    int64
+	snapDrops    int64
+	snapKindMsgs []int64
+	snapKindByt  []int64
+	snapPeakLink string
+	snapPeakBack sim.Time
 }
 
 // ProtoConfig maps the cluster Config onto the protocol engine's Config and
@@ -119,6 +138,12 @@ func ProtoConfig(cfg Config) (proto.Config, error) {
 		NoTokenCache:   cfg.NoTokenCache,
 		PfReliable:     cfg.PfReliable,
 		PfHeapSharedGC: cfg.PfHeapSharedGC,
+		Barrier:        cfg.Barrier,
+		BarrierFanout:  cfg.BarrierFanout,
+		Gossip:         cfg.Gossip,
+		GossipFanout:   cfg.GossipFanout,
+		GossipSeed:     cfg.GossipSeed,
+		GossipInterval: cfg.GossipInterval,
 	}
 	if cfg.EagerRC {
 		// EagerRC predates the protocol registry; it maps to the "erc"
@@ -131,21 +156,35 @@ func ProtoConfig(cfg Config) (proto.Config, error) {
 	return pcfg, proto.ValidateConfig(pcfg)
 }
 
-// NewSystem builds the cluster.
-func NewSystem(cfg Config) *System {
+// ValidateMachine checks the whole machine configuration — processor and
+// thread counts, thread-switching rules, interconnect topology, and the
+// protocol knob combination — and reports the first problem as a plain
+// error. NewSystem enforces the same rules by panicking; front ends
+// validate user input with this first so mistakes surface as usage errors.
+func ValidateMachine(cfg Config) error {
 	if cfg.Procs <= 0 || cfg.ThreadsPerProc <= 0 {
-		panic("core: Procs and ThreadsPerProc must be positive")
+		return fmt.Errorf("Procs and ThreadsPerProc must be positive (got %d and %d)",
+			cfg.Procs, cfg.ThreadsPerProc)
 	}
 	if cfg.ThreadsPerProc > 1 && !cfg.SwitchOnSync {
 		// A thread spin-waiting at a barrier would starve its siblings of
 		// the CPU forever; multithreaded configurations must switch on
 		// synchronization stalls (as all of the paper's do).
-		panic("core: ThreadsPerProc > 1 requires SwitchOnSync")
+		return fmt.Errorf("ThreadsPerProc > 1 requires SwitchOnSync")
 	}
-	pcfg, err := ProtoConfig(cfg)
-	if err != nil {
+	if err := cfg.Net.Validate(cfg.Procs); err != nil {
+		return err
+	}
+	_, err := ProtoConfig(cfg)
+	return err
+}
+
+// NewSystem builds the cluster.
+func NewSystem(cfg Config) *System {
+	if err := ValidateMachine(cfg); err != nil {
 		panic("core: " + err.Error())
 	}
+	pcfg, _ := ProtoConfig(cfg)
 	s := &System{Cfg: cfg, K: sim.NewKernel(), Alloc: pagemem.NewAllocator()}
 	if cfg.Limit > 0 {
 		s.K.SetLimit(cfg.Limit)
@@ -213,6 +252,22 @@ func (s *System) snapshot() {
 	}
 	tot := s.Net.TotalStats()
 	s.snapMsgs, s.snapBytes, s.snapDrops = tot.MsgsSent, tot.BytesSent, tot.Dropped
+	s.snapKindMsgs, s.snapKindByt, s.snapPeakLink, s.snapPeakBack = s.traffic()
+}
+
+// traffic reads the network's per-kind counters and the busiest link seen.
+func (s *System) traffic() (kindMsgs, kindBytes []int64, peakLink string, peakBacklog sim.Time) {
+	kindMsgs = make([]int64, netsim.MaxKinds)
+	kindBytes = make([]int64, netsim.MaxKinds)
+	for k := 0; k < netsim.MaxKinds; k++ {
+		kindMsgs[k], kindBytes[k] = s.Net.KindStats(netsim.Kind(k))
+	}
+	for _, l := range s.Net.LinkLoads() {
+		if l.Peak > peakBacklog {
+			peakBacklog, peakLink = l.Peak, l.Name
+		}
+	}
+	return
 }
 
 func (s *System) report(end sim.Time) *stats.Report {
@@ -223,11 +278,13 @@ func (s *System) report(end sim.Time) *stats.Report {
 	}
 	tot := s.Net.TotalStats()
 	msgs, bytes, drops := tot.MsgsSent, tot.BytesSent, tot.Dropped
+	kindMsgs, kindBytes, peakLink, peakBack := s.traffic()
 	if s.snapped {
 		end = s.snapTime
 		nodes = s.snapNodes
 		accounts = s.snapCPUs
 		msgs, bytes, drops = s.snapMsgs, s.snapBytes, s.snapDrops
+		kindMsgs, kindBytes, peakLink, peakBack = s.snapKindMsgs, s.snapKindByt, s.snapPeakLink, s.snapPeakBack
 	}
 
 	r := &stats.Report{
@@ -239,6 +296,10 @@ func (s *System) report(end sim.Time) *stats.Report {
 	r.MsgsTotal = msgs
 	r.BytesTotal = bytes
 	r.Drops = drops
+	r.KindMsgs = kindMsgs
+	r.KindBytes = kindBytes
+	r.PeakLink = peakLink
+	r.PeakLinkBacklog = peakBack
 
 	var avg stats.Breakdown
 	for i := range accounts {

@@ -87,6 +87,12 @@ const (
 	KindHomeFlush // diff flushed to the page's home (Peer=home, Arg=data bytes)
 	KindHomeFetch // whole page fetched from its home (Peer=home, Arg=bytes)
 
+	// Multi-switch topologies and gossip dissemination. Neither kind is
+	// emitted on the default single-switch, broadcast-notice path, so the
+	// trace-JSON goldens are unaffected.
+	KindNetHop     // message crossed one fat-tree link (Page=link, Arg=wait)
+	KindGossipPush // gossip round pushed a notice batch (Arg=records, Aux=fanout)
+
 	numKinds
 )
 
@@ -133,6 +139,8 @@ var kindNames = [numKinds]string{
 	KindThreadResume:  "thread-resume",
 	KindHomeFlush:     "home-flush",
 	KindHomeFetch:     "home-fetch",
+	KindNetHop:        "net-hop",
+	KindGossipPush:    "gossip-push",
 }
 
 func (k Kind) String() string {
@@ -458,4 +466,18 @@ func HomeFlush(node, home int, page int64, bytes int) Event {
 func HomeFetch(node, home int, page int64, bytes int) Event {
 	return Event{Kind: KindHomeFetch, Node: int32(node), Peer: int32(home), Page: page,
 		Arg: int64(bytes)}
+}
+
+// NetHop records a message crossing one fat-tree link: link identifies the
+// link within the topology, wait is how long the message queued for it.
+func NetHop(src, dst int, mk uint8, link int, wait int64) Event {
+	return Event{Kind: KindNetHop, MsgKind: mk, Node: int32(src), Peer: int32(dst),
+		Page: int64(link), Arg: wait}
+}
+
+// GossipPush records one gossip round at node pushing a batch of records
+// notice records to fanout peers.
+func GossipPush(node int, round int64, records, fanout int) Event {
+	return Event{Kind: KindGossipPush, Node: int32(node), Peer: -1, Page: -1,
+		Seq: uint64(round), Arg: int64(records), Aux: int64(fanout)}
 }

@@ -45,7 +45,7 @@ func (t *TraceWriter) printf(format string, args ...any) {
 // tid maps an event to its track: 0 is the network, processor i is i+1.
 func tid(e Event) int {
 	switch e.Kind {
-	case KindNetEnqueue, KindNetTransmit, KindNetDeliver, KindNetDrop, KindNetFault:
+	case KindNetEnqueue, KindNetTransmit, KindNetDeliver, KindNetDrop, KindNetFault, KindNetHop:
 		return 0
 	}
 	return int(e.Node) + 1

@@ -78,6 +78,12 @@ type Options struct {
 	// ("" = the default, lrc). The protocols experiment compares all
 	// backends regardless of this option.
 	Protocol string
+	// NodeScaleProcs overrides the nodescale experiment's processor sweep
+	// (nil = NodeScaleDefaultProcs). Fat-tree routing assumes powers of two.
+	NodeScaleProcs []int
+	// NodeScaleJSON, when non-empty, makes the nodescale experiment write
+	// its machine-readable snapshot to this path.
+	NodeScaleJSON string
 }
 
 // DefaultOptions mirrors the paper's platform: 8 processors, small scale.

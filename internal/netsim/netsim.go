@@ -112,6 +112,11 @@ func (p *FaultPlan) brownedOut(id NodeID, from, to sim.Time) bool {
 	return false
 }
 
+// DefaultFatTreeRadix is the switch radix used when Config.FatTreeRadix is
+// zero: four downward ports per switch, so eight nodes need two levels and
+// 1024 nodes need five.
+const DefaultFatTreeRadix = 4
+
 // Config holds the network's physical parameters. The defaults in
 // DefaultConfig approximate the paper's 155 Mbps FORE ATM LAN.
 type Config struct {
@@ -122,9 +127,43 @@ type Config struct {
 	// message may suffer before it is dropped. Zero disables dropping.
 	DropThreshold sim.Time
 
+	// Topology selects the interconnect shape. "" and "single" are the
+	// paper's one-switch LAN (the byte-identical default); "fattree" is a
+	// multi-switch fat tree with per-link serialization, per-switch
+	// store-and-forward latency, and per-link occupancy tracking (see
+	// fattree.go).
+	Topology string
+	// FatTreeRadix is the fat tree's downward port count per switch; zero
+	// means DefaultFatTreeRadix. Must be a power of two >= 2.
+	FatTreeRadix int
+
 	// Faults injects deterministic faults into all traffic (see FaultPlan).
 	// The zero plan leaves the network exactly as fault-free.
 	Faults FaultPlan
+}
+
+// Validate checks the topology parameters against a node count. The single
+// switch accepts any cluster (including one node); the fat tree's routing
+// arithmetic assumes power-of-two node counts and radices.
+func (c *Config) Validate(nodes int) error {
+	switch c.Topology {
+	case "", "single":
+		return nil
+	case "fattree":
+		r := c.FatTreeRadix
+		if r == 0 {
+			r = DefaultFatTreeRadix
+		}
+		if r < 2 || r&(r-1) != 0 {
+			return fmt.Errorf("fattree: radix %d is not a power of two >= 2", r)
+		}
+		if nodes < 2 || nodes&(nodes-1) != 0 {
+			return fmt.Errorf("fattree: %d nodes; the fat tree assumes a power-of-two node count >= 2", nodes)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown topology %q (have: single, fattree)", c.Topology)
+	}
 }
 
 // DefaultConfig returns parameters approximating the paper's platform: a
@@ -159,6 +198,40 @@ type nic struct {
 	outBusyUntil sim.Time // sender-side link free time
 	inBusyUntil  sim.Time // receiver-side link free time
 	stats        LinkStats
+
+	// Passive occupancy accounting for LinkLoads (never read by the timing
+	// model, so recording it cannot perturb existing goldens).
+	outMsgs, inMsgs int64
+	outBusy, inBusy sim.Time // total serialization time the link was held
+	outPeak, inPeak sim.Time // largest ready-to-drained backlog of one message
+}
+
+func (c *nic) noteOut(ser, backlog sim.Time) {
+	c.outMsgs++
+	c.outBusy += ser
+	if backlog > c.outPeak {
+		c.outPeak = backlog
+	}
+}
+
+func (c *nic) noteIn(ser, backlog sim.Time) {
+	c.inMsgs++
+	c.inBusy += ser
+	if backlog > c.inPeak {
+		c.inPeak = backlog
+	}
+}
+
+// LinkLoad is the observed load on one directed link of the topology: how
+// many messages crossed it, how long it was busy serializing in total, and
+// the largest backlog one message saw (time from the message being ready for
+// the link until the link had drained it — queueing wait plus its own
+// serialization).
+type LinkLoad struct {
+	Name string
+	Msgs int64
+	Busy sim.Time
+	Peak sim.Time
 }
 
 // Network is the simulated LAN. Construct with New.
@@ -169,6 +242,7 @@ type Network struct {
 	nics    []nic
 	deliver func(*Message)
 	rng     *rand.Rand // non-nil iff cfg.Faults.Active()
+	topo    *fatTree   // non-nil iff cfg.Topology == "fattree"
 
 	kindMsgs  [MaxKinds]int64
 	kindBytes [MaxKinds]int64
@@ -180,11 +254,39 @@ func New(k *sim.Kernel, n int, cfg Config, deliver func(*Message)) *Network {
 	if n <= 0 {
 		panic("netsim: need at least one node")
 	}
+	if err := cfg.Validate(n); err != nil {
+		panic("netsim: " + err.Error())
+	}
 	net := &Network{k: k, bus: k.Bus(), cfg: cfg, nics: make([]nic, n), deliver: deliver}
 	if cfg.Faults.Active() {
 		net.rng = rand.New(rand.NewSource(cfg.Faults.Seed))
 	}
+	if cfg.Topology == "fattree" {
+		radix := cfg.FatTreeRadix
+		if radix == 0 {
+			radix = DefaultFatTreeRadix
+		}
+		net.topo = newFatTree(n, radix)
+	}
 	return net
+}
+
+// LinkLoads returns the per-link occupancy observed so far, in a fixed
+// deterministic order. Under the single switch each node contributes its
+// outbound and inbound link; under the fat tree every edge and inter-switch
+// link (both directions) is reported.
+func (n *Network) LinkLoads() []LinkLoad {
+	if n.topo != nil {
+		return n.topo.loads()
+	}
+	out := make([]LinkLoad, 0, 2*len(n.nics))
+	for i := range n.nics {
+		c := &n.nics[i]
+		out = append(out,
+			LinkLoad{Name: fmt.Sprintf("node%d.out", i), Msgs: c.outMsgs, Busy: c.outBusy, Peak: c.outPeak},
+			LinkLoad{Name: fmt.Sprintf("node%d.in", i), Msgs: c.inMsgs, Busy: c.inBusy, Peak: c.inPeak})
+	}
+	return out
 }
 
 // FaultsActive reports whether this network injects faults.
@@ -258,6 +360,10 @@ func (n *Network) Send(m *Message) sim.Time {
 		return at
 	}
 
+	if n.topo != nil {
+		return n.sendFatTree(m, now)
+	}
+
 	ser := n.serialization(m.Size)
 	f := &n.cfg.Faults
 
@@ -306,6 +412,8 @@ func (n *Network) Send(m *Message) sim.Time {
 		if f.Loss > 0 && n.rng.Float64() < f.Loss {
 			src.outBusyUntil = outEnd
 			dst.inBusyUntil = inEnd
+			src.noteOut(ser, outEnd-now)
+			dst.noteIn(ser, inEnd-atSwitchOut)
 			n.bus.Emit(event.NetDrop(esrc, edst, ekind, m.Size, event.DropLoss))
 			src.stats.Dropped++
 			src.stats.BytesDropped += int64(m.Size)
@@ -316,6 +424,8 @@ func (n *Network) Send(m *Message) sim.Time {
 
 	src.outBusyUntil = outEnd
 	dst.inBusyUntil = inEnd
+	src.noteOut(ser, outEnd-now)
+	dst.noteIn(ser, inEnd-atSwitchOut)
 	dst.stats.MsgsRecv++
 	dst.stats.BytesRecv += int64(m.Size)
 

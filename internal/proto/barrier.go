@@ -20,6 +20,10 @@ type barrierState struct {
 // the barrier releases. The arrival closes the current interval and ships
 // this node's new intervals to the manager.
 func (sm *syncManager) Barrier(id int, onRelease func()) {
+	if sm.tree != nil {
+		sm.tree.Barrier(id, onRelease)
+		return
+	}
 	n := sm.n
 	n.closeInterval()
 	own := n.ownSinceBarrier
@@ -83,6 +87,7 @@ func (sm *syncManager) barArrive(a *msgBarArrive) {
 	}
 	n.flushDeferred()
 	n.checkContiguity()
+	n.gossipCover(n.vc)
 
 	// Everyone is here: release. Each node gets the intervals it lacks
 	// (per its arrival VC), excluding its own.
@@ -125,6 +130,7 @@ func (sm *syncManager) barArrive(a *msgBarArrive) {
 func (sm *syncManager) handleBarRelease(r *msgBarRelease) {
 	n := sm.n
 	cost := n.intake(r.Ivs, r.VC)
+	n.gossipCover(r.VC)
 	done := n.CPU.Service(cost, sim.CatDSM)
 	n.bus.Emit(event.BarRelease(n.ID, r.Barrier, done-sm.barStart))
 	cb := sm.barWait

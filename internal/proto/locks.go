@@ -20,10 +20,16 @@ type syncManager struct {
 	barrier  *barrierState // non-nil only on the barrier manager (node 0)
 	barWait  func()        // continuation for an in-progress barrier wait
 	barStart sim.Time      // when this node arrived at the barrier
+
+	tree *treeBarrier // non-nil iff cfg.Barrier == "tree" (barriertree.go)
 }
 
-func newSyncManager(n *Node, noTokenCache bool) *syncManager {
-	sm := &syncManager{n: n, noTokenCache: noTokenCache, locks: make(map[int]*lockState)}
+func newSyncManager(n *Node, cfg Config) *syncManager {
+	sm := &syncManager{n: n, noTokenCache: cfg.NoTokenCache, locks: make(map[int]*lockState)}
+	if cfg.Barrier == "tree" {
+		sm.tree = newTreeBarrier(n, cfg.BarrierFanout)
+		return sm
+	}
 	if n.ID == 0 {
 		sm.barrier = &barrierState{}
 	}
@@ -49,9 +55,17 @@ func (sm *syncManager) Handle(m *netsim.Message) bool {
 			sm.handleLockGrant(pl)
 		}
 	case *msgBarArrive:
-		sm.handleBarArrive(pl)
+		if sm.tree != nil {
+			sm.tree.arrive(pl)
+		} else {
+			sm.handleBarArrive(pl)
+		}
 	case *msgBarRelease:
-		sm.handleBarRelease(pl)
+		if sm.tree != nil {
+			sm.tree.handleRelease(pl)
+		} else {
+			sm.handleBarRelease(pl)
+		}
 	default:
 		return false
 	}

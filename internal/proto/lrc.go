@@ -208,9 +208,15 @@ func (c *lrcCoherence) handleDiffReply(rep *msgDiffReply) {
 	})
 }
 
-// AfterClose broadcasts the just-closed interval's write notices when
-// running as eager release consistency; the lazy default does nothing.
+// AfterClose publishes the just-closed interval's write notices: to the
+// gossip engine when one is configured (which replaces ERC's O(N)
+// broadcast and pre-spreads notices under plain LRC), else by broadcast
+// when running as eager release consistency. The lazy default does nothing.
 func (c *lrcCoherence) AfterClose(iv *lrc.Interval) {
+	if c.n.gossip != nil {
+		c.n.gossip.Publish(iv)
+		return
+	}
 	if c.eager {
 		c.broadcastNotice(iv)
 	}

@@ -26,6 +26,7 @@ const (
 	KindHomeFlush
 	KindPageReq
 	KindPageReply
+	KindGossip // batched write-notice gossip round (gossip.go)
 	numKinds
 )
 
@@ -68,6 +69,8 @@ func KindName(k netsim.Kind) string {
 		return "page-req"
 	case KindPageReply:
 		return "page-reply"
+	case KindGossip:
+		return "gossip"
 	default:
 		return "?"
 	}
@@ -119,14 +122,28 @@ type msgEagerNotice struct {
 	Iv *lrc.Interval
 }
 
+// msgGossip carries one gossip round's batch of hot interval records
+// (gossip.go). The batch is sorted by (Node, Seq) and shared read-only
+// between the round's peers.
+type msgGossip struct {
+	From int
+	Ivs  []*lrc.Interval
+}
+
 // msgBarArrive announces arrival at a barrier, carrying the arriver's new
-// intervals since its previous barrier.
+// intervals since its previous barrier. Under the combining tree
+// (barriertree.go) an interior node's upward message additionally carries
+// the element-wise minimum of its subtree's arrival VCs (for release
+// filtering) and the combined GC verdict; both stay zero on the central
+// barrier's wire format.
 type msgBarArrive struct {
 	Barrier   int
 	From      int
 	VC        lrc.VC
 	Ivs       []*lrc.Interval
-	DiffBytes int64 // local diff-storage size, for the GC trigger
+	DiffBytes int64  // local diff-storage size, for the GC trigger
+	MinVC     lrc.VC // combining tree only: min over the subtree's arrival VCs
+	GCWant    bool   // combining tree only: some subtree member tripped the GC trigger
 }
 
 // msgBarRelease releases a barrier, carrying the merged vector time and the

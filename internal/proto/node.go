@@ -21,6 +21,8 @@
 //	prefetch.go   lrcPrefetcher: non-binding prefetch issue policy
 //	locks.go      syncManager: distributed queue locks with token caching
 //	barrier.go    syncManager: centralized barrier manager
+//	barriertree.go deterministic combining-tree barrier (Barrier: "tree")
+//	gossip.go     seeded deterministic gossip write-notice dissemination
 //	gc.go         lrcGC (diff garbage collection) and noGC
 //	hlrc.go       hlrcCoherence: protocol overview, types, release flush
 //	hlrchome.go   hlrc home side: flush apply, parked requests, page serve
@@ -103,6 +105,10 @@ type Node struct {
 	// gcBase: records below this vector time have been collected (gc.go).
 	gcBase lrc.VC
 
+	// gossip disseminates write notices in deterministic rounds when the
+	// Gossip knob is set (gossip.go); nil otherwise.
+	gossip *gossiper
+
 	// Reliable transport state, one peer per remote node; nil until
 	// EnableTransport (transport.go). Nil means fiat delivery.
 	xp []*xpPeer
@@ -143,6 +149,9 @@ type pfState struct {
 func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs, cfg Config) *Node {
 	b, err := Lookup(cfg.Protocol)
 	if err != nil {
+		configInvariantf("proto: %v", err)
+	}
+	if err := validateCommon(cfg); err != nil {
 		configInvariantf("proto: %v", err)
 	}
 	if b.Validate != nil {
@@ -276,6 +285,10 @@ func (n *Node) dispatch(m *netsim.Message) {
 		return
 	}
 	if n.gc.Handle(m) {
+		return
+	}
+	if pl, ok := m.Payload.(*msgGossip); ok && n.gossip != nil {
+		n.gossip.handle(pl)
 		return
 	}
 	n.invariantf("node %d: unknown message payload %T (kind %s)", n.ID, m.Payload, KindName(m.Kind))

@@ -4,6 +4,7 @@ import (
 	"godsm/internal/lrc"
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
+	"godsm/internal/sim"
 )
 
 // Config declaratively selects a protocol backend and its policy knobs.
@@ -37,7 +38,52 @@ type Config struct {
 	// removing the paper's separate-heap relief (footnote 6). HLRC rejects
 	// it along with the other diff-GC knobs.
 	PfHeapSharedGC bool
+
+	// Barrier selects the barrier implementation: "central" (the paper's
+	// single manager on node 0; empty selects it, keeping the default path
+	// byte-identical) or "tree" (a deterministic combining tree whose
+	// arrivals combine interval/VC payloads upward and whose releases fan
+	// down; see barriertree.go).
+	Barrier string
+
+	// BarrierFanout is the combining tree's arity; zero means
+	// DefaultBarrierFanout. A fanout >= N-1 degenerates the tree to depth
+	// one, which reproduces the central barrier's behaviour exactly.
+	BarrierFanout int
+
+	// Gossip replaces broadcast write-notice dissemination with seeded
+	// deterministic gossip rounds (gossip.go): each interval close joins a
+	// per-node hot set that is pushed, batched, to a fixed fanout of peers;
+	// receivers relay records they had not seen. Diff-based backends only;
+	// HLRC rejects it (notices travel through homes there).
+	Gossip bool
+
+	// GossipFanout is the number of peers each gossip round pushes to;
+	// zero means DefaultGossipFanout. The first peer is always the ring
+	// successor (guaranteeing every notice reaches every node); the rest
+	// are a seeded deterministic sample.
+	GossipFanout int
+
+	// GossipSeed seeds the per-node long-link selection. Runs with equal
+	// seeds are byte-identical.
+	GossipSeed int64
+
+	// GossipInterval is the batching delay between a record entering the
+	// hot set and the round that pushes it; zero means
+	// DefaultGossipInterval. The default spans a few message flight times,
+	// so the records a node learns from several peers coalesce into one
+	// push — with an interval at or below the flight time every trickled-in
+	// record fires its own round and gossip degenerates to per-record
+	// forwarding, costing more messages than the broadcast it replaces.
+	GossipInterval sim.Time
 }
+
+// Defaults for the scalable-machine knobs.
+const (
+	DefaultBarrierFanout  = 4
+	DefaultGossipFanout   = 2
+	DefaultGossipInterval = 2 * sim.Millisecond
+)
 
 // The protocol engine is decomposed into four policy subsystems behind the
 // interfaces below. The Node (node.go) is the shared chassis: it owns the

@@ -72,8 +72,31 @@ func ValidateConfig(cfg Config) error {
 	if err != nil {
 		return err
 	}
+	if err := validateCommon(cfg); err != nil {
+		return err
+	}
 	if b.Validate != nil {
 		return b.Validate(cfg)
+	}
+	return nil
+}
+
+// validateCommon checks the backend-independent machine knobs (barrier
+// topology, gossip parameters).
+func validateCommon(cfg Config) error {
+	switch cfg.Barrier {
+	case "", "central", "tree":
+	default:
+		return fmt.Errorf("unknown barrier %q (have: central, tree)", cfg.Barrier)
+	}
+	if cfg.BarrierFanout != 0 && cfg.BarrierFanout < 2 {
+		return fmt.Errorf("barrier fanout %d: a combining tree needs arity >= 2", cfg.BarrierFanout)
+	}
+	if cfg.GossipFanout < 0 {
+		return fmt.Errorf("gossip fanout %d must be >= 0 (0 selects the default)", cfg.GossipFanout)
+	}
+	if cfg.GossipInterval < 0 {
+		return fmt.Errorf("gossip interval %d must be >= 0 (0 selects the default)", cfg.GossipInterval)
 	}
 	return nil
 }
@@ -102,10 +125,13 @@ func init() {
 func buildDiffBased(eager bool) func(n *Node, cfg Config) Subsystems {
 	return func(n *Node, cfg Config) Subsystems {
 		coh := &lrcCoherence{n: n, eager: eager, pfReliable: cfg.PfReliable}
+		if cfg.Gossip {
+			n.gossip = newGossiper(n, cfg) // nil on one-node clusters
+		}
 		return Subsystems{
 			Coherence: coh,
 			Prefetch:  &lrcPrefetcher{n: n, throttle: cfg.ThrottlePf, reliable: cfg.PfReliable},
-			Sync:      newSyncManager(n, cfg.NoTokenCache),
+			Sync:      newSyncManager(n, cfg),
 			GC:        &lrcGC{n: n, threshold: cfg.GCThreshold, sharedPfHeap: cfg.PfHeapSharedGC},
 		}
 	}
@@ -117,6 +143,9 @@ func validateHLRC(cfg Config) error {
 	}
 	if cfg.PfHeapSharedGC {
 		return fmt.Errorf("protocol hlrc has no diff GC; PfHeapSharedGC does not apply")
+	}
+	if cfg.Gossip {
+		return fmt.Errorf("protocol hlrc distributes notices through page homes; Gossip does not apply")
 	}
 	return nil
 }
@@ -136,7 +165,7 @@ func buildHLRC(n *Node, cfg Config) Subsystems {
 	return Subsystems{
 		Coherence: coh,
 		Prefetch:  pf,
-		Sync:      newSyncManager(n, cfg.NoTokenCache),
+		Sync:      newSyncManager(n, cfg),
 		GC:        noGC{n: n},
 	}
 }

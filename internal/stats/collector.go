@@ -90,6 +90,9 @@ func (c *Collector) Event(e event.Event) {
 		n.AcksSent++
 	case event.KindXpDup:
 		n.DupSuppressed++
+	case event.KindGossipPush:
+		n.GossipRounds++
+		n.GossipNotices += e.Arg
 	case event.KindThreadSwitch:
 		n.CtxSwitches++
 	case event.KindThreadBlock:

@@ -72,6 +72,10 @@ type Node struct {
 	AcksSent      int64    // pure (non-piggybacked) acknowledgments sent
 	DupSuppressed int64    // sequenced frames discarded as duplicates
 	MaxBackoff    sim.Time // largest retransmission timeout reached
+
+	// Gossip write-notice dissemination (only nonzero with the Gossip knob).
+	GossipRounds  int64 // gossip rounds fired (one batch push per round)
+	GossipNotices int64 // interval records pushed, summed over rounds
 }
 
 // StallEvents returns the number of stall events (memory + sync).
@@ -119,6 +123,17 @@ type Report struct {
 	MsgsTotal  int64
 	BytesTotal int64
 	Drops      int64
+
+	// Per-wire-kind traffic, indexed by the protocol's message kind (see
+	// proto.KindName); slices of length netsim.MaxKinds. Nil on reports
+	// produced outside core (tests building Reports by hand).
+	KindMsgs  []int64
+	KindBytes []int64
+
+	// The busiest directed link of the topology: the largest single-message
+	// backlog (queueing wait + serialization) any link saw, and its name.
+	PeakLink        string
+	PeakLinkBacklog sim.Time
 }
 
 // Fingerprint returns a deterministic rendering of every field of the
@@ -172,6 +187,8 @@ func (r *Report) Sum() Node {
 		if n.MaxBackoff > t.MaxBackoff {
 			t.MaxBackoff = n.MaxBackoff // max, not sum: it is a high-water mark
 		}
+		t.GossipRounds += n.GossipRounds
+		t.GossipNotices += n.GossipNotices
 	}
 	return t
 }
