@@ -62,7 +62,7 @@ type experimentTimes struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5, ablation, netsweep, scaling, faults, protocols, chaos, nodescale)")
+	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5, ablation, netsweep, scaling, faults, protocols, chaos, nodescale, racecheck)")
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	appList := flag.String("apps", "", "comma-separated application subset (default all)")
@@ -73,6 +73,7 @@ func main() {
 	note := flag.String("note", "", "free-form environment note recorded in the -json summary")
 	nsProcs := flag.String("nodescale-procs", "", "comma-separated processor sweep for the nodescale experiment (default 8,64,256,1024)")
 	nsJSON := flag.String("nodescale-json", "", "write the nodescale experiment's snapshot here ('' = off)")
+	raceCheck := flag.Bool("race-check", false, "run every simulation under the happens-before race detector (the racecheck experiment always does)")
 	flag.Parse()
 
 	sc, err := apps.ParseScale(*scale)
@@ -91,7 +92,7 @@ func main() {
 		}
 	}
 	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify, Workers: *workers, Protocol: *protocol,
-		NodeScaleJSON: *nsJSON}
+		NodeScaleJSON: *nsJSON, RaceCheck: *raceCheck}
 	if *nsProcs != "" {
 		for _, f := range strings.Split(*nsProcs, ",") {
 			var p int

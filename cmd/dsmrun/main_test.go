@@ -25,6 +25,8 @@ func TestValidateMachine(t *testing.T) {
 		barrier     string
 		fanout      int
 		gossip      bool
+		raceCheck   bool
+		raceGran    string
 		wantErr     []string // substrings of the error; empty = valid
 	}{
 		{name: "default is lrc"},
@@ -69,6 +71,13 @@ func TestValidateMachine(t *testing.T) {
 			wantErr: []string{"hlrc", "Gossip"}},
 		{name: "the full scaled machine", procs: 256, protocol: "erc",
 			topology: "fattree", barrier: "tree", gossip: true},
+		{name: "race check", raceCheck: true},
+		{name: "race check at word granularity", raceCheck: true, raceGran: "word"},
+		{name: "race check at page granularity", raceCheck: true, raceGran: "page"},
+		{name: "race granularity requires race check", raceGran: "page",
+			wantErr: []string{"RaceGranularity", "RaceCheck"}},
+		{name: "unknown race granularity", raceCheck: true, raceGran: "byte",
+			wantErr: []string{"race granularity", "byte", "word or page"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -84,6 +93,8 @@ func TestValidateMachine(t *testing.T) {
 			cfg.Barrier = tc.barrier
 			cfg.BarrierFanout = tc.fanout
 			cfg.Gossip = tc.gossip
+			cfg.RaceCheck = tc.raceCheck
+			cfg.RaceGranularity = tc.raceGran
 			if tc.name == "hlrc rejects shared pf-heap gc" {
 				cfg.PfHeapSharedGC = true
 			}

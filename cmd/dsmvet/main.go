@@ -1,5 +1,5 @@
 // Command dsmvet is the repo's determinism-and-protocol-invariant checker:
-// a multichecker over the six analyzers in internal/analysis, in the
+// a multichecker over the seven analyzers in internal/analysis, in the
 // spirit of golang.org/x/tools/go/analysis/multichecker but built on the
 // in-tree framework so it needs no module downloads.
 //
@@ -7,9 +7,15 @@
 //
 //	go run ./cmd/dsmvet ./...
 //	go run ./cmd/dsmvet ./internal/proto
+//	go run ./cmd/dsmvet -json -github ./...
 //
-// It prints one line per finding and exits 1 when there are any. Suppress
-// an audited exception with a trailing or preceding comment:
+// It prints one line per finding and exits 1 when there are any. -json
+// switches the report to a machine-readable JSON array (one object per
+// finding, paths relative to the module root); -github additionally emits
+// GitHub Actions `::error` workflow commands so findings annotate the lines
+// they bind to in pull-request diffs. The two flags compose: CI uses both,
+// keeping the JSON artifact and the annotations from one run. Suppress an
+// audited exception with a trailing or preceding comment:
 //
 //	start := time.Now() //dsmvet:allow walltime — report timing only
 //
@@ -18,9 +24,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"godsm/internal/analysis/framework"
 	"godsm/internal/analysis/suite"
@@ -28,8 +37,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "report findings as a JSON array on stdout")
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dsmvet [-list] <packages>   (e.g. dsmvet ./...)\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: dsmvet [-list] [-json] [-github] <packages>   (e.g. dsmvet ./...)\n\nAnalyzers:\n")
 		printAnalyzers(os.Stderr)
 	}
 	flag.Parse()
@@ -56,12 +67,64 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		writeJSON(os.Stdout, root, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			// Workflow-command annotation: GitHub attaches it to the
+			// file/line in the PR diff. The message is single-line by
+			// construction (analyzers report one-sentence findings).
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=dsmvet %s::%s\n",
+				relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic. File is
+// relative to the module root so the output is stable across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, root string, diags []framework.Diagnostic) {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// relPath renders a diagnostic path relative to the module root with
+// forward slashes (the form GitHub annotations and diff tools expect),
+// falling back to the absolute path if it is outside the root.
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
 }
 
 func printAnalyzers(w *os.File) {

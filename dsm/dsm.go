@@ -39,6 +39,7 @@ import (
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
 	"godsm/internal/proto"
+	"godsm/internal/race"
 	"godsm/internal/sim"
 	"godsm/internal/stats"
 )
@@ -115,6 +116,19 @@ type FaultPlan = netsim.FaultPlan
 // LinkFault is one transient window on a node's link, used by
 // FaultPlan.Brownouts and FaultPlan.Stalls.
 type LinkFault = netsim.LinkFault
+
+// RaceError is the panic value System.Run raises when Config.RaceCheck is
+// set and the application performs two conflicting shared accesses not
+// ordered by Lock/Unlock, Barrier, or thread start/exit. It names both
+// access sites (thread, processor, virtual time, access kind) and carries
+// the recent event-bus history; rendering is deterministic, so the same
+// configuration always reports the same race byte for byte. Recover it
+// around Run to treat a race as a value:
+//
+//	defer func() {
+//		if re, ok := recover().(*dsm.RaceError); ok { ... }
+//	}()
+type RaceError = race.RaceError
 
 // DefaultCosts returns the calibrated protocol CPU cost model.
 func DefaultCosts() proto.Costs { return proto.DefaultCosts() }

@@ -1,0 +1,182 @@
+// Package kindexhaustive keeps switch dispatch over the closed Kind
+// taxonomies total: a switch whose tag is an event.Kind (the simulation
+// event taxonomy) or a netsim.Kind (the protocol's message-kind space) must
+// either list every exported constant of the type or carry a default that
+// panics. Three PRs in a row have added wire kinds; without this check an
+// old dispatch path (the stats collector, the trace router, a protocol
+// message handler) silently drops the new kind instead of failing loudly —
+// exactly the bug class a closed taxonomy is supposed to prevent.
+//
+// The universe of a tag type is every *exported* constant of that type
+// declared in the type's defining package, the package under analysis, or
+// any of its imports (netsim.Kind's constants live in internal/proto, not
+// internal/netsim, so the defining package alone is not enough). Unexported
+// sentinels like numKinds are deliberately excluded: they count kinds, they
+// are not kinds.
+//
+// A default clause discharges the obligation only if it panics: a direct
+// builtin panic, or a call whose name contains "panic", "invariant" or
+// "fatal" (the protocol engine must fail through its invariantf helpers —
+// see the panicinvariant analyzer — so those count as panicking here).
+package kindexhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"godsm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "kindexhaustive",
+	Doc: "require switches over the closed event.Kind / netsim.Kind taxonomies to handle " +
+		"every exported constant or carry a panicking default, so new kinds cannot be silently dropped",
+	Run: run,
+}
+
+// kindPkgs names the packages whose Kind types are closed taxonomies. The
+// match is by package name, not import path, so the analyzer's fixture
+// packages (and any future vendored layout) resolve the same way.
+var kindPkgs = map[string]bool{"event": true, "netsim": true}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := kindType(pass, sw.Tag)
+			if named == nil {
+				return true
+			}
+			checkSwitch(pass, sw, named)
+			return true
+		})
+	}
+	return nil
+}
+
+// kindType returns the tag's named type if it is a closed Kind taxonomy.
+func kindType(pass *framework.Pass, tag ast.Expr) *types.Named {
+	tv, ok := pass.TypesInfo.Types[tag]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || !kindPkgs[obj.Pkg().Name()] {
+		return nil
+	}
+	return named
+}
+
+func checkSwitch(pass *framework.Pass, sw *ast.SwitchStmt, named *types.Named) {
+	universe := kindUniverse(pass, named)
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil { // default clause
+			if panics(pass, cc.Body) {
+				return // a panicking default makes any case set total
+			}
+			pass.Reportf(sw.Switch,
+				"switch over %s.Kind has a non-panicking default: a newly added kind would be silently swallowed; make the default panic (or list every kind explicitly)",
+				named.Obj().Pkg().Name())
+			return
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: out of the analyzer's reach
+			}
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				covered[v] = true
+			}
+		}
+	}
+	var missing []string
+	for v, name := range universe {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch,
+		"switch over %s.Kind without a panicking default misses %s; handle every kind or add a default that panics",
+		named.Obj().Pkg().Name(), strings.Join(missing, ", "))
+}
+
+// kindUniverse gathers the exported constants of the tag type, keyed by
+// value (one representative name per value, the lexicographically first),
+// from the type's defining package, the package under analysis, and its
+// imports.
+func kindUniverse(pass *framework.Pass, named *types.Named) map[int64]string {
+	out := make(map[int64]string)
+	scopes := []*types.Scope{named.Obj().Pkg().Scope(), pass.Pkg.Scope()}
+	for _, imp := range pass.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, scope := range scopes {
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !c.Exported() || !types.Identical(c.Type(), named) {
+				continue
+			}
+			v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+			if !exact {
+				continue
+			}
+			if prev, ok := out[v]; !ok || name < prev {
+				out[v] = name
+			}
+		}
+	}
+	return out
+}
+
+// panics reports whether the statement list contains a panicking call: the
+// builtin panic, or a function/method whose name implies process or
+// invariant failure.
+func panics(pass *framework.Pass, body []ast.Stmt) bool {
+	for _, st := range body {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			continue
+		}
+		if id.Name == "panic" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		lower := strings.ToLower(id.Name)
+		for _, marker := range []string{"panic", "invariant", "fatal"} {
+			if strings.Contains(lower, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package kindexhaustive_test
+
+import (
+	"testing"
+
+	"godsm/internal/analysis/framework/analysistest"
+	"godsm/internal/analysis/kindexhaustive"
+)
+
+func TestKindExhaustive(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), kindexhaustive.Analyzer, "kindexhaustive")
+}

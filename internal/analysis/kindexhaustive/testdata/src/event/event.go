@@ -1,0 +1,16 @@
+// Package event models internal/event for the kindexhaustive fixtures: a
+// closed Kind taxonomy with an unexported counting sentinel, which must not
+// be part of the universe a switch is required to cover.
+package event
+
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindFault
+	KindDeliver
+	numKinds
+)
+
+// N uses the sentinel the way internal/event does.
+const N = int(numKinds)

@@ -1,0 +1,96 @@
+// The kindexhaustive fixtures: switches over the closed Kind taxonomies in
+// every compliance state the analyzer distinguishes.
+package kindexhaustive
+
+import (
+	"event"
+	"netsim"
+)
+
+// Message kinds declared proto-style: the constants of netsim.Kind live in
+// this package, not in netsim.
+const (
+	KindA netsim.Kind = iota
+	KindB
+	numMsgKinds
+)
+
+const _ = int(numMsgKinds)
+
+// Every kind listed: total without a default.
+func exhaustive(k event.Kind) int {
+	switch k {
+	case event.KindNone:
+		return 0
+	case event.KindFault, event.KindDeliver:
+		return 1
+	}
+	return 2
+}
+
+// Missing a kind and no default: the taxonomy can grow past this switch.
+func missing(k event.Kind) int {
+	switch k { // want `misses KindDeliver`
+	case event.KindNone, event.KindFault:
+		return 1
+	}
+	return 0
+}
+
+// A panicking default discharges the obligation for any case set.
+func panickingDefault(k event.Kind) int {
+	switch k {
+	case event.KindNone:
+		return 0
+	default:
+		panic("unknown kind")
+	}
+}
+
+// A non-panicking default swallows future kinds.
+func softDefault(k event.Kind) string {
+	switch k { // want `non-panicking default`
+	case event.KindNone:
+		return "none"
+	default:
+		return "?"
+	}
+}
+
+// The proto engine fails through invariantf helpers, which count as
+// panicking (see the panicinvariant analyzer).
+func invariantDefault(k netsim.Kind) {
+	switch k {
+	case KindA:
+	default:
+		invariantf("unexpected message kind %d", int(k))
+	}
+}
+
+func invariantf(format string, args ...any) {}
+
+// netsim.Kind's universe comes from this package's declarations; the
+// untyped MaxKinds sentinel stays out of it.
+func missingMsg(k netsim.Kind) {
+	switch k { // want `misses KindB`
+	case KindA:
+	}
+}
+
+// Switches over unrelated types are none of the analyzer's business.
+func notKind(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Allow comments suppress findings like in every other analyzer.
+func allowed(k event.Kind) int {
+	switch k { //dsmvet:allow kindexhaustive — fixture: audited partial dispatch
+	case event.KindNone:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,10 @@
+// Package netsim models internal/netsim for the kindexhaustive fixtures:
+// it defines the Kind type but none of its constants — those live in the
+// importing (proto-style) package, so the analyzer must gather the universe
+// from more than the defining package. MaxKinds is untyped, like the real
+// one, and must not enter the universe.
+package netsim
+
+type Kind uint8
+
+const MaxKinds = 8

@@ -48,7 +48,7 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("analyzer %q: does not sweep the protocol engine", name)
 		}
 	}
-	for _, want := range []string{"walltime", "globalrand", "mapiter", "eventemit", "panicinvariant", "chargecost"} {
+	for _, want := range []string{"walltime", "globalrand", "mapiter", "eventemit", "kindexhaustive", "panicinvariant", "chargecost"} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

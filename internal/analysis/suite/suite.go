@@ -1,4 +1,4 @@
-// Package suite assembles dsmvet: the six analyzers plus the package
+// Package suite assembles dsmvet: the seven analyzers plus the package
 // scope each one sweeps. The scopes are policy, shared by the cmd/dsmvet
 // multichecker and the repo-wide meta-test so the two can never disagree.
 package suite
@@ -11,6 +11,7 @@ import (
 	"godsm/internal/analysis/eventemit"
 	"godsm/internal/analysis/framework"
 	"godsm/internal/analysis/globalrand"
+	"godsm/internal/analysis/kindexhaustive"
 	"godsm/internal/analysis/mapiter"
 	"godsm/internal/analysis/panicinvariant"
 	"godsm/internal/analysis/walltime"
@@ -66,6 +67,8 @@ func notEventPkg(path string) bool { return path != "godsm/internal/event" }
 //     reach simulation state or report bytes.
 //   - eventemit sweeps everything but internal/event: the event taxonomy
 //     is closed, so events are built only by that package's constructors.
+//   - kindexhaustive sweeps the whole module: switch dispatch over the
+//     closed Kind taxonomies must stay total wherever it appears.
 //   - panicinvariant and chargecost encode protocol-engine contracts and
 //     sweep internal/proto alone.
 func Units() []Unit {
@@ -74,6 +77,7 @@ func Units() []Unit {
 		{globalrand.Analyzer, everywhere},
 		{mapiter.Analyzer, inCore},
 		{eventemit.Analyzer, notEventPkg},
+		{kindexhaustive.Analyzer, everywhere},
 		{panicinvariant.Analyzer, protoOnly},
 		{chargecost.Analyzer, protoOnly},
 	}

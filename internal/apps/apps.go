@@ -91,9 +91,16 @@ var All = []Spec{
 	{"WATER-SP", BuildWaterSp},
 }
 
-// ByName returns the named application spec.
+// ByName returns the named application spec. Besides All, it resolves the
+// intentionally-racy race-detector fixtures (racy.go), which are reachable
+// only by explicit name and never via "all"-style selections over All.
 func ByName(name string) (Spec, error) {
 	for _, s := range All {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range Fixtures {
 		if s.Name == name {
 			return s, nil
 		}

@@ -87,6 +87,12 @@ func (e *Env) noteBlock() {
 // for writes), and returns the local frame. The per-access busy cost
 // accumulates; faults flush and block the thread.
 func (e *Env) access(a Addr, write bool) []byte {
+	if d := e.t.proc.race; d != nil {
+		// Synchronous happens-before check: charges no simulated time and
+		// emits no events, so a clean checked run is byte-identical to an
+		// unchecked one.
+		d.Access(e.t.id, uint64(a), write)
+	}
 	e.busy += e.t.proc.sys.Cfg.AccessNs
 	e.runSince += e.t.proc.sys.Cfg.AccessNs
 	p := pagemem.PageOf(a)
@@ -189,6 +195,16 @@ func (e *Env) PrefetchRange(a Addr, length int) {
 // Lock acquires global lock id, combining locally when another thread on
 // this processor already holds or has requested it.
 func (e *Env) Lock(id int) {
+	e.lockAcquire(id)
+	if d := e.t.proc.race; d != nil {
+		// The acquire edge: join the previous releaser's clock. After
+		// lockAcquire returns on every path (immediate grant, remote
+		// grant, local hand-off), so the edge covers them all.
+		d.Acquire(e.t.id, id)
+	}
+}
+
+func (e *Env) lockAcquire(id int) {
 	e.flushBusy()
 	pr := e.t.proc
 	ll := pr.llock(id)
@@ -216,6 +232,11 @@ func (e *Env) Lock(id int) {
 
 // Unlock releases lock id, passing it to a locally queued thread first.
 func (e *Env) Unlock(id int) {
+	if d := e.t.proc.race; d != nil {
+		// The release edge: publish this thread's clock to the lock before
+		// any successor (local hand-off or remote grant) can acquire it.
+		d.Release(e.t.id, id)
+	}
 	e.flushBusy()
 	pr := e.t.proc
 	ll := pr.llock(id)
@@ -241,6 +262,13 @@ func (e *Env) Unlock(id int) {
 // threads gather first; only the last local arrival sends a message
 // (Section 4.1).
 func (e *Env) Barrier(id int) {
+	if d := e.t.proc.race; d != nil {
+		// The episode cut: arrivals join into the barrier clock, and the
+		// last live arrival redistributes the join to every thread. The
+		// hook runs strictly before the simulated barrier releases anyone,
+		// so post-barrier accesses always see the cut.
+		d.BarrierArrive(e.t.id)
+	}
 	e.flushBusy()
 	pr := e.t.proc
 	e.t.block(sim.CatSyncIdle, func(onDone func()) {
@@ -258,6 +286,26 @@ func (e *Env) Barrier(id int) {
 			})
 		}
 	})
+}
+
+// RaceExempt runs body with race reporting suppressed for every granule
+// body touches: the exemption sticks to the granule, so the un-annotated
+// other side of an audited benign race stays quiet too. reason must be
+// non-empty — it is the audit trail for why the race is benign (it is not
+// recorded anywhere; it exists to force the call site to say). A plain
+// body() call when race checking is off.
+func (e *Env) RaceExempt(reason string, body func()) {
+	d := e.t.proc.race
+	if d == nil {
+		body()
+		return
+	}
+	if reason == "" {
+		panic("core: RaceExempt requires a non-empty audit reason")
+	}
+	d.ExemptPush(e.t.id)
+	defer d.ExemptPop(e.t.id)
+	body()
 }
 
 func clearFlags(m map[uint64]bool) {

@@ -6,6 +6,7 @@ import (
 	"godsm/internal/event"
 	"godsm/internal/pagemem"
 	"godsm/internal/proto"
+	"godsm/internal/race"
 	"godsm/internal/sim"
 )
 
@@ -61,6 +62,11 @@ type Processor struct {
 	// Redundant-prefetch suppression flags (Section 5.1): pages already
 	// touched/prefetched by some local thread this phase.
 	pfFlags map[uint64]bool
+
+	// race is the machine-wide happens-before detector, shared by every
+	// processor; nil unless Config.RaceCheck is set — the nil check at
+	// each hook is the feature's entire cost on the default path.
+	race *race.Detector
 }
 
 type localLock struct {
@@ -116,6 +122,9 @@ func (pr *Processor) spawnThreads(app func(*Env), onExit func()) {
 			p.Park()
 			app(t.env)
 			t.env.flushBusy()
+			if d := pr.race; d != nil {
+				d.ThreadExit(t.id)
+			}
 			t.state = tDone
 			pr.live--
 			onExit()

@@ -11,6 +11,7 @@ import (
 	"godsm/internal/netsim"
 	"godsm/internal/pagemem"
 	"godsm/internal/proto"
+	"godsm/internal/race"
 	"godsm/internal/sim"
 	"godsm/internal/stats"
 )
@@ -64,6 +65,19 @@ type Config struct {
 	GossipFanout   int      // peers pushed to per round (0 = default 2)
 	GossipSeed     int64    // seeds the per-node peer choice
 	GossipInterval sim.Time // round period (0 = default 50 µs)
+
+	// RaceCheck enables the deterministic happens-before race detector
+	// (internal/race): every shared access is checked against the ordering
+	// induced by Lock/Unlock and Barrier, and the first conflicting
+	// unordered pair panics with a *race.RaceError naming both sites. Off
+	// by default; when off the detector is not even constructed, so the
+	// default path's output stays byte-identical.
+	RaceCheck bool
+	// RaceGranularity selects the detector's conflict unit: "" or "word"
+	// (8-byte words — exact for the repo's apps) or "page" (whole
+	// coherence pages, which additionally flags false sharing). Requires
+	// RaceCheck.
+	RaceGranularity string
 
 	// AccessNs is the busy cost charged per shared-memory access.
 	AccessNs sim.Time
@@ -172,6 +186,12 @@ func ValidateMachine(cfg Config) error {
 		// synchronization stalls (as all of the paper's do).
 		return fmt.Errorf("ThreadsPerProc > 1 requires SwitchOnSync")
 	}
+	if cfg.RaceGranularity != "" && !cfg.RaceCheck {
+		return fmt.Errorf("RaceGranularity set without RaceCheck")
+	}
+	if _, err := race.ParseGranularity(cfg.RaceGranularity); err != nil {
+		return err
+	}
 	if err := cfg.Net.Validate(cfg.Procs); err != nil {
 		return err
 	}
@@ -210,6 +230,18 @@ func NewSystem(cfg Config) *System {
 		s.CPUs = append(s.CPUs, cpu)
 		s.Nodes = append(s.Nodes, node)
 		s.Procs = append(s.Procs, newProcessor(s, i, node, cpu))
+	}
+	if cfg.RaceCheck {
+		g, _ := race.ParseGranularity(cfg.RaceGranularity)
+		det := race.NewDetector(race.Config{
+			Threads:        s.TotalThreads(),
+			ThreadsPerProc: cfg.ThreadsPerProc,
+			Granularity:    g,
+			Now:            s.K.Now,
+		})
+		for _, pr := range s.Procs {
+			pr.race = det
+		}
 	}
 	return s
 }

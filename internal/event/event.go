@@ -208,6 +208,19 @@ func (e Event) String() string {
 		return s + fmt.Sprintf(" %d->%d mk=%d size=%d reason=%d", e.Node, e.Peer, e.MsgKind, e.Arg, e.Aux)
 	case KindNetFault:
 		return s + fmt.Sprintf(" %d->%d mk=%d reason=%d", e.Node, e.Peer, e.MsgKind, e.Arg)
+	case KindNone,
+		KindFaultLocal, KindFaultRemote, KindFetchDone,
+		KindDiffMake, KindDiffApply, KindTwin, KindIntervalClose, KindNoticeIn,
+		KindLockLocal, KindLockRemote, KindLockGrant, KindLockForward, KindLockReturn,
+		KindBarArrive, KindBarRelease,
+		KindPfCall, KindPfUnnecessary, KindPfThrottle, KindPfIssue, KindPfReqDrop, KindPfReplyDrop,
+		KindGCBegin, KindGCFlush, KindGCDone,
+		KindXpTimeout, KindXpRetransmit, KindXpAck, KindXpDup,
+		KindThreadSwitch, KindThreadBlock, KindThreadResume,
+		KindHomeFlush, KindHomeFetch, KindNetHop, KindGossipPush:
+		// Node-attributed kinds all render through the generic form below.
+	default:
+		panic(fmt.Sprintf("event: String: unhandled kind %d", uint8(e.Kind)))
 	}
 	s += fmt.Sprintf(" n%d", e.Node)
 	if e.Peer >= 0 {

@@ -42,22 +42,37 @@ func (t *TraceWriter) printf(format string, args ...any) {
 	_, t.err = fmt.Fprintf(t.w, format, args...)
 }
 
-// tid maps an event to its track: 0 is the network, processor i is i+1.
-func tid(e Event) int {
+// track maps an event to its timeline track: 0 is the network, processor i
+// is i+1. Kernel-internal kinds return ok=false — they exist for failure
+// dumps, not timelines.
+func track(e Event) (id int, ok bool) {
 	switch e.Kind {
+	case KindDispatch, KindTimerArm, KindTimerStop:
+		return 0, false
 	case KindNetEnqueue, KindNetTransmit, KindNetDeliver, KindNetDrop, KindNetFault, KindNetHop:
-		return 0
+		return 0, true
+	case KindNone,
+		KindFaultLocal, KindFaultRemote, KindFetchDone,
+		KindDiffMake, KindDiffApply, KindTwin, KindIntervalClose, KindNoticeIn,
+		KindLockLocal, KindLockRemote, KindLockGrant, KindLockForward, KindLockReturn,
+		KindBarArrive, KindBarRelease,
+		KindPfCall, KindPfUnnecessary, KindPfThrottle, KindPfIssue, KindPfReqDrop, KindPfReplyDrop,
+		KindGCBegin, KindGCFlush, KindGCDone,
+		KindXpTimeout, KindXpRetransmit, KindXpAck, KindXpDup,
+		KindThreadSwitch, KindThreadBlock, KindThreadResume,
+		KindHomeFlush, KindHomeFetch, KindGossipPush:
+		return int(e.Node) + 1, true
+	default:
+		panic(fmt.Sprintf("event: TraceWriter: unhandled kind %d", uint8(e.Kind)))
 	}
-	return int(e.Node) + 1
 }
 
 // Event implements Sink.
 func (t *TraceWriter) Event(e Event) {
-	switch e.Kind {
-	case KindDispatch, KindTimerArm, KindTimerStop:
+	id, ok := track(e)
+	if !ok {
 		return
 	}
-	id := tid(e)
 	for len(t.seen) <= id {
 		t.seen = append(t.seen, false)
 	}

@@ -84,6 +84,11 @@ type Options struct {
 	// NodeScaleJSON, when non-empty, makes the nodescale experiment write
 	// its machine-readable snapshot to this path.
 	NodeScaleJSON string
+	// RaceCheck runs every simulation of the session under the
+	// happens-before race detector (dsm.Config.RaceCheck): a data race in
+	// any application surfaces as a run error carrying the *dsm.RaceError.
+	// The racecheck experiment forces this on regardless of the option.
+	RaceCheck bool
 }
 
 // DefaultOptions mirrors the paper's platform: 8 processors, small scale.
@@ -174,6 +179,7 @@ func (s *Session) Config(app string, v Variant) dsm.Config {
 	}
 	cfg.Protocol = s.Opt.Protocol
 	cfg.Net.Faults = s.Opt.Faults
+	cfg.RaceCheck = s.Opt.RaceCheck
 	return cfg
 }
 
@@ -257,13 +263,33 @@ func (s *Session) runConfig(app string, cfg dsm.Config, verify bool) (*dsm.Repor
 	start := Wallclock()
 	sys := dsm.NewSystem(cfg)
 	inst := spec.Build(sys, apps.Options{Scale: s.Opt.Scale, Verify: verify})
-	rep := sys.Run(inst.Run)
+	rep, err := runSim(sys, inst.Run)
 	s.simCount.Add(1)
 	s.simWall.Add(int64(Wallclock().Sub(start)))
+	if err != nil {
+		return nil, err
+	}
 	if err := inst.Err(); err != nil {
 		return nil, fmt.Errorf("verification failed: %w", err)
 	}
 	return rep, nil
+}
+
+// runSim calls sys.Run, converting a *dsm.RaceError panic into a plain
+// error: a data race is a property of the application under test, not a
+// harness bug, so it must surface as a run failure (with the full
+// two-site report) rather than crash the whole experiment fan-out.
+func runSim(sys *dsm.System, body func(*dsm.Env)) (rep *dsm.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(*dsm.RaceError)
+			if !ok {
+				panic(r)
+			}
+			err = re
+		}
+	}()
+	return sys.Run(body), nil
 }
 
 // RunKey names one cached simulation: an application/variant pair.

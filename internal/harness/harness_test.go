@@ -27,6 +27,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"fig5":      "best:",
 		"faults":    "schedule totals:",
 		"protocols": "relative to lrc",
+		"racecheck": "0 data races",
 	}
 	s := NewSession(Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR", "FFT"}})
 	for _, e := range Experiments {

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"godsm/dsm"
+	"godsm/internal/apps"
+)
+
+// TestRaceCheckedDeterminism proves the detector's two run-level claims:
+// the race-checked grid renders byte-identically whether cells run
+// sequentially (workers=1) or fanned out over 8 workers, and checking is
+// observation-free — each checked cell's report fingerprint equals the
+// unchecked run's for the same app/variant/protocol.
+func TestRaceCheckedDeterminism(t *testing.T) {
+	opt := Options{Procs: 4, Scale: apps.Unit, Apps: []string{"SOR", "FFT"}}
+	optSeq, optPar := opt, opt
+	optSeq.Workers = 1
+	optPar.Workers = 8
+	seq, par := NewSession(optSeq), NewSession(optPar)
+
+	var bufSeq, bufPar bytes.Buffer
+	if err := RunRaceCheck(par, &bufPar); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunRaceCheck(seq, &bufSeq); err != nil {
+		t.Fatal(err)
+	}
+	if bufSeq.String() != bufPar.String() {
+		t.Errorf("racecheck output differs across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s",
+			bufSeq.String(), bufPar.String())
+	}
+
+	for _, proto := range ProtocolNames {
+		for _, app := range seq.AppNames() {
+			for _, v := range ProtocolVariants {
+				a, err := seq.RunRaceChecked(app, v, proto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := par.RunRaceChecked(app, v, proto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off, err := seq.RunProtocol(app, v, proto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fa, fb, fo := a.Fingerprint(), b.Fingerprint(), off.Fingerprint()
+				if fa != fb {
+					t.Errorf("%s/%s under %s: race-checked reports differ across worker counts:\nseq: %s\npar: %s",
+						app, v, proto, fa, fb)
+				}
+				if fa != fo {
+					t.Errorf("%s/%s under %s: race checking perturbed the report:\nchecked:   %s\nunchecked: %s",
+						app, v, proto, fa, fo)
+				}
+			}
+		}
+	}
+}
+
+// TestRacyFixturesFailDeterministically: the intentionally racy fixtures
+// fail under the detector with a structured two-site RaceError whose
+// rendering is byte-identical on every rerun, and the exempt variant runs
+// clean with its verification intact.
+func TestRacyFixturesFailDeterministically(t *testing.T) {
+	run := func(app string) (string, error) {
+		s := NewSession(Options{Procs: 4, Scale: apps.Unit, Workers: 1})
+		cfg := s.Config(app, VarO)
+		cfg.RaceCheck = true
+		_, err := s.RunConfig(app, cfg)
+		if err == nil {
+			return "", nil
+		}
+		var re *dsm.RaceError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: want a *dsm.RaceError, got %T: %v", app, err, err)
+		}
+		return err.Error(), err
+	}
+
+	for _, app := range []string{"RACY", "RACY-STALE"} {
+		first, err := run(app)
+		if err == nil {
+			t.Fatalf("%s ran clean under the race detector", app)
+		}
+		if !strings.Contains(first, "data race detected") {
+			t.Errorf("%s: report missing the race header:\n%s", app, first)
+		}
+		if !strings.Contains(first, "prev:") || !strings.Contains(first, "curr:") {
+			t.Errorf("%s: report missing an access site:\n%s", app, first)
+		}
+		second, _ := run(app)
+		if first != second {
+			t.Errorf("%s: race report is not deterministic:\n1st:\n%s\n2nd:\n%s", app, first, second)
+		}
+	}
+
+	if msg, err := run("RACY-EXEMPT"); err != nil {
+		t.Errorf("RACY-EXEMPT: RaceExempt did not suppress the audited race:\n%s", msg)
+	}
+}

@@ -45,8 +45,10 @@ func (sm *syncManager) Handle(m *netsim.Message) bool {
 			sm.handleLockAcqAtManager(pl)
 		case KindLockRetry:
 			sm.handleLockRetry(pl)
-		default:
+		case KindLockForward:
 			sm.handleLockForward(pl)
+		default:
+			sm.n.invariantf("lock-acquire payload carried unexpected message kind %d", int(m.Kind))
 		}
 	case *msgLockGrant:
 		if m.Kind == KindLockReturn {

@@ -72,7 +72,8 @@ func KindName(k netsim.Kind) string {
 	case KindGossip:
 		return "gossip"
 	default:
-		return "?"
+		configInvariantf("KindName: unknown message kind %d", int(k))
+		return ""
 	}
 }
 

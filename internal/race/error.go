@@ -1,0 +1,70 @@
+package race
+
+import (
+	"fmt"
+	"strings"
+
+	"godsm/internal/event"
+)
+
+// Access describes one side of a reported race: what kind of access it was,
+// which simulated thread (and its processor) performed it, at what virtual
+// time, and the thread's epoch clock when it did.
+type Access struct {
+	Write  bool
+	Thread int
+	Proc   int
+	Clock  uint64
+	At     int64 // virtual time, ns
+}
+
+func (a Access) kind() string {
+	if a.Write {
+		return "write"
+	}
+	return "read "
+}
+
+// RaceError is the panic value raised on the first pair of conflicting,
+// happens-before-unordered accesses. It is modeled on proto.InvariantError:
+// every field renders deterministically, and once it unwinds through the
+// simulation kernel's run loop the bus's recent event history is attached
+// (via sim.EventTraceAttacher), so the same seed always produces a
+// byte-identical report.
+type RaceError struct {
+	Addr        uint64 // base address of the conflicting granule
+	Page        int64  // page containing Addr
+	Granularity string // "word" or "page"
+	Prev        Access // the recorded access the new one conflicts with
+	Curr        Access // the access that exposed the race
+
+	// Events is the bus's recent event history, oldest first, attached by
+	// the kernel's run loop as the panic unwinds.
+	Events []event.Event
+}
+
+// Error renders both access sites and the event-trace context.
+func (e *RaceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "data race detected: unsynchronized %s/%s of %s 0x%x (page %d)\n",
+		strings.TrimSpace(e.Prev.kind()), strings.TrimSpace(e.Curr.kind()), e.Granularity, e.Addr, e.Page)
+	fmt.Fprintf(&b, "  prev: %s by thread %d (proc %d) at t=%dns clock=%d\n",
+		e.Prev.kind(), e.Prev.Thread, e.Prev.Proc, e.Prev.At, e.Prev.Clock)
+	fmt.Fprintf(&b, "  curr: %s by thread %d (proc %d) at t=%dns clock=%d",
+		e.Curr.kind(), e.Curr.Thread, e.Curr.Proc, e.Curr.At, e.Curr.Clock)
+	fmt.Fprintf(&b, "\n  the accesses are not ordered by any Lock/Unlock, Barrier, or thread start/exit edge")
+	if len(e.Events) > 0 {
+		fmt.Fprintf(&b, "\n  last %d events:", len(e.Events))
+		for _, ev := range e.Events {
+			fmt.Fprintf(&b, "\n    %s", ev.String())
+		}
+	}
+	return b.String()
+}
+
+// AttachEventTrace implements sim.EventTraceAttacher.
+func (e *RaceError) AttachEventTrace(evs []event.Event) {
+	if e.Events == nil {
+		e.Events = evs
+	}
+}

@@ -1,0 +1,218 @@
+package race
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTest(threads int, g Granularity) (*Detector, *int64) {
+	now := new(int64)
+	d := NewDetector(Config{
+		Threads:        threads,
+		ThreadsPerProc: 1,
+		Granularity:    g,
+		Now:            func() int64 { return *now },
+	})
+	return d, now
+}
+
+// catchRace runs fn and returns the *RaceError it panics with, or nil.
+func catchRace(t *testing.T, fn func()) (re *RaceError) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if re, ok = r.(*RaceError); !ok {
+				t.Fatalf("panicked with %v, want *RaceError", r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	d, _ := newTest(2, Word)
+	d.Access(0, 0x1000, true)
+	re := catchRace(t, func() { d.Access(1, 0x1000, true) })
+	if re == nil {
+		t.Fatal("unsynchronized write/write not reported")
+	}
+	if !re.Prev.Write || !re.Curr.Write || re.Prev.Thread != 0 || re.Curr.Thread != 1 {
+		t.Fatalf("sites = %+v / %+v", re.Prev, re.Curr)
+	}
+	if re.Addr != 0x1000 {
+		t.Fatalf("Addr = %#x, want 0x1000", re.Addr)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	d, now := newTest(2, Word)
+	d.Access(0, 0x2000, true)
+	*now = 50
+	re := catchRace(t, func() { d.Access(1, 0x2000, false) })
+	if re == nil {
+		t.Fatal("unsynchronized write/read not reported")
+	}
+	if !re.Prev.Write || re.Curr.Write {
+		t.Fatalf("sites = %+v / %+v", re.Prev, re.Curr)
+	}
+	if re.Prev.At != 0 || re.Curr.At != 50 {
+		t.Fatalf("times = %d / %d, want 0 / 50", re.Prev.At, re.Curr.At)
+	}
+}
+
+func TestReadWriteRaceExclusive(t *testing.T) {
+	d, _ := newTest(2, Word)
+	d.Access(0, 0x3000, false)
+	re := catchRace(t, func() { d.Access(1, 0x3000, true) })
+	if re == nil || re.Prev.Write || !re.Curr.Write {
+		t.Fatalf("re = %+v", re)
+	}
+}
+
+func TestLockOrdering(t *testing.T) {
+	d, _ := newTest(2, Word)
+	d.Access(0, 0x1000, true)
+	d.Release(0, 7)
+	d.Acquire(1, 7)
+	if re := catchRace(t, func() { d.Access(1, 0x1000, true) }); re != nil {
+		t.Fatalf("release→acquire edge not honored: %v", re)
+	}
+}
+
+func TestDistinctLocksDoNotOrder(t *testing.T) {
+	d, _ := newTest(2, Word)
+	d.Acquire(0, 1)
+	d.Access(0, 0x1000, true)
+	d.Release(0, 1)
+	d.Acquire(1, 2)
+	re := catchRace(t, func() { d.Access(1, 0x1000, true) })
+	if re == nil {
+		t.Fatal("writes under distinct locks must race")
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	d, _ := newTest(3, Word)
+	d.Access(0, 0x1000, true)
+	d.BarrierArrive(0)
+	d.BarrierArrive(1)
+	d.BarrierArrive(2)
+	if re := catchRace(t, func() { d.Access(2, 0x1000, false) }); re != nil {
+		t.Fatalf("barrier episode cut not honored: %v", re)
+	}
+	// A second episode must be independent: thread 1's post-barrier write
+	// is unordered with thread 2's post-barrier read just above.
+	if re := catchRace(t, func() { d.Access(1, 0x1000, true) }); re == nil {
+		t.Fatal("post-barrier unsynchronized accesses not reported")
+	}
+}
+
+func TestBarrierReleasesWhenLastLiveArrives(t *testing.T) {
+	d, _ := newTest(2, Word)
+	d.Access(1, 0x1000, true)
+	d.BarrierArrive(1)
+	d.ThreadExit(0) // the barrier now only waits for thread 1
+	d.BarrierArrive(1)
+	d.BarrierArrive(1) // two more solo episodes must not deadlock the state
+}
+
+func TestReadSharedThenOrderedWrite(t *testing.T) {
+	d, _ := newTest(3, Word)
+	d.Access(0, 0x1000, false)
+	d.Access(1, 0x1000, false) // concurrent reads: promoted to read-shared
+	d.BarrierArrive(0)
+	d.BarrierArrive(1)
+	d.BarrierArrive(2)
+	if re := catchRace(t, func() { d.Access(2, 0x1000, true) }); re != nil {
+		t.Fatalf("write ordered after all shared reads reported: %v", re)
+	}
+}
+
+func TestReadSharedWriteRace(t *testing.T) {
+	d, _ := newTest(3, Word)
+	d.Access(0, 0x1000, false)
+	d.Access(1, 0x1000, false)
+	d.Release(1, 4)
+	d.Acquire(2, 4) // ordered after thread 1's read only
+	re := catchRace(t, func() { d.Access(2, 0x1000, true) })
+	if re == nil {
+		t.Fatal("write concurrent with a shared read not reported")
+	}
+	if re.Prev.Thread != 0 || re.Prev.Write {
+		t.Fatalf("prev = %+v, want thread 0's read", re.Prev)
+	}
+}
+
+func TestExemptSuppressesBothSides(t *testing.T) {
+	d, _ := newTest(2, Word)
+	d.ExemptPush(0)
+	d.Access(0, 0x1000, true)
+	d.ExemptPop(0)
+	// Thread 1 is not inside an Exempt region, but the granule was audited.
+	if re := catchRace(t, func() { d.Access(1, 0x1000, true) }); re != nil {
+		t.Fatalf("exempt granule reported: %v", re)
+	}
+	// Other granules stay checked.
+	d.Access(0, 0x2000, true)
+	if re := catchRace(t, func() { d.Access(1, 0x2000, true) }); re == nil {
+		t.Fatal("non-exempt granule not reported")
+	}
+}
+
+func TestWordGranularityDistinguishesWords(t *testing.T) {
+	d, _ := newTest(2, Word)
+	d.Access(0, 0x1000, true)
+	if re := catchRace(t, func() { d.Access(1, 0x1008, true) }); re != nil {
+		t.Fatalf("distinct words conflated: %v", re)
+	}
+}
+
+func TestPageGranularityConflatesWords(t *testing.T) {
+	d, _ := newTest(2, Page)
+	d.Access(0, 0x1000, true)
+	re := catchRace(t, func() { d.Access(1, 0x1008, true) })
+	if re == nil {
+		t.Fatal("same-page accesses must conflict at page granularity")
+	}
+	if re.Addr != 0x1000 || re.Page != 1 {
+		t.Fatalf("Addr=%#x Page=%d, want page base 0x1000, page 1", re.Addr, re.Page)
+	}
+}
+
+func TestParseGranularity(t *testing.T) {
+	for s, want := range map[string]Granularity{"": Word, "word": Word, "page": Page} {
+		g, err := ParseGranularity(s)
+		if err != nil || g != want {
+			t.Errorf("ParseGranularity(%q) = %v, %v", s, g, err)
+		}
+	}
+	if _, err := ParseGranularity("cacheline"); err == nil {
+		t.Error("ParseGranularity(cacheline) did not fail")
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	d, now := newTest(4, Word)
+	*now = 100
+	d.Access(2, 0x5008, true)
+	*now = 250
+	re := catchRace(t, func() { d.Access(3, 0x5008, false) })
+	if re == nil {
+		t.Fatal("no race reported")
+	}
+	msg := re.Error()
+	for _, want := range []string{
+		"data race detected", "0x5008", "page 5",
+		"write by thread 2", "t=100ns",
+		"read  by thread 3", "t=250ns",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() missing %q:\n%s", want, msg)
+		}
+	}
+	if got := re.Error(); got != msg {
+		t.Error("Error() is not stable across calls")
+	}
+}

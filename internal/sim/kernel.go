@@ -228,6 +228,11 @@ func (k *Kernel) Run() Time {
 			if a, ok := r.(EventTraceAttacher); ok {
 				a.AttachEventTrace(k.bus.Recent())
 			}
+			// Unwind the surviving process goroutines before re-raising:
+			// callers that recover the panic (race fixtures, chaos tests)
+			// must not leak a parked goroutine per simulated thread.
+			k.running = false
+			k.shutdown()
 			panic(r)
 		}
 	}()

@@ -233,6 +233,28 @@ func TestShutdownUnwindsParkedProcs(t *testing.T) {
 	}
 }
 
+func TestProcPanicPropagatesToRunCaller(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bystander", func(p *Proc) {
+		p.Park() // never woken; must be unwound despite the crash below
+	})
+	k.Spawn("crasher", func(p *Proc) {
+		p.Sleep(10)
+		panic("boom")
+	})
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		k.Run()
+	}()
+	if got != "boom" {
+		t.Fatalf("recover() = %v, want %q", got, "boom")
+	}
+	if len(k.procs) != 0 {
+		t.Fatalf("%d procs still registered after panic unwound Run", len(k.procs))
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() []Time {
 		k := NewKernel()

@@ -9,6 +9,7 @@ type Proc struct {
 	resume chan struct{}
 	parked bool // true while the goroutine is blocked in park()
 	done   bool
+	fault  any // panic value carried from the process goroutine to kernel context
 }
 
 // procShutdown is the panic value used to unwind a parked process when the
@@ -26,7 +27,11 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(procShutdown); !ok {
-					panic(r) // real bug: propagate
+					// Real bug (or a structured failure such as a RaceError):
+					// carry the value to kernel context instead of crashing
+					// the goroutine, so transfer() can re-raise it where
+					// System.Run's caller is able to recover it.
+					p.fault = r
 				}
 			}
 			p.done = true
@@ -59,6 +64,16 @@ func (p *Proc) transfer() {
 	}
 	p.resume <- struct{}{}
 	<-p.k.control
+	if p.fault != nil {
+		// The goroutine panicked with something other than procShutdown.
+		// Re-raise it here, in kernel context, so it unwinds through
+		// Kernel.Run (which attaches the event trace and shuts down the
+		// remaining process goroutines) and out to the simulation's caller.
+		r := p.fault
+		p.fault = nil
+		delete(p.k.procs, p)
+		panic(r)
+	}
 }
 
 // park suspends the process until something calls transfer again.

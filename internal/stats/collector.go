@@ -1,6 +1,10 @@
 package stats
 
-import "godsm/internal/event"
+import (
+	"fmt"
+
+	"godsm/internal/event"
+)
 
 // Collector derives per-node protocol counters from the event bus. It is
 // the only writer of Node counters in a simulation: protocol and core code
@@ -99,5 +103,16 @@ func (c *Collector) Event(e event.Event) {
 		n.Blocks++
 		n.Runs++
 		n.RunTotal += e.Arg
+	case event.KindNone, event.KindDispatch, event.KindTimerArm, event.KindTimerStop,
+		event.KindNetEnqueue, event.KindNetTransmit, event.KindNetDeliver,
+		event.KindNetDrop, event.KindNetFault, event.KindNetHop,
+		event.KindIntervalClose, event.KindNoticeIn,
+		event.KindLockForward, event.KindLockReturn,
+		event.KindPfThrottle, event.KindGCBegin, event.KindThreadResume:
+		// No counter derives from these kinds. Listing them (rather than
+		// relying on fallthrough) keeps the dispatch total, so adding a
+		// kind forces a decision about whether it is counted.
+	default:
+		panic(fmt.Sprintf("stats: Collector: unhandled event kind %d", uint8(e.Kind)))
 	}
 }
