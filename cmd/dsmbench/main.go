@@ -4,7 +4,7 @@
 //
 //	dsmbench [-exp all|fig1|fig2|table1|fig3|fig4|table2|fig5|...]
 //	         [-scale unit|small|paper] [-procs N] [-apps FFT,SOR,...]
-//	         [-protocol lrc|erc|hlrc] [-workers N] [-json FILE] [-verify]
+//	         [-protocol lrc|erc|hlrc|adp] [-workers N] [-json FILE] [-verify]
 //
 // Each experiment prints the same rows/series as the corresponding artifact
 // in "Comparative Evaluation of Latency Tolerance Techniques for Software
@@ -62,11 +62,12 @@ type experimentTimes struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5, ablation, netsweep, scaling, faults, protocols, chaos, nodescale, racecheck)")
+	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, fig3, fig4, table2, fig5, ablation, netsweep, scaling, faults, protocols, chaos, nodescale, racecheck, adaptive)")
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	appList := flag.String("apps", "", "comma-separated application subset (default all)")
 	protocol := flag.String("protocol", "", "coherence protocol for every run: "+strings.Join(dsm.Protocols(), ", ")+" (default lrc; the protocols experiment always compares all)")
+	homePolicy := flag.String("home-policy", "", "hlrc page-home assignment for every run: "+strings.Join(dsm.HomePolicies(), ", ")+" (default static; the adaptive experiment always sweeps)")
 	verify := flag.Bool("verify", false, "verify application output against sequential goldens")
 	workers := flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "BENCH_dsmbench.json", "write a machine-readable timing summary here ('' = off)")
@@ -91,8 +92,11 @@ func main() {
 			fatal(fmt.Errorf("unknown protocol %q (registered: %v)", *protocol, dsm.Protocols()))
 		}
 	}
+	if *homePolicy != "" && *protocol != "hlrc" {
+		fatal(fmt.Errorf("-home-policy given but -protocol is not hlrc"))
+	}
 	opt := harness.Options{Procs: *procs, Scale: sc, Verify: *verify, Workers: *workers, Protocol: *protocol,
-		NodeScaleJSON: *nsJSON, RaceCheck: *raceCheck}
+		HomePolicy: *homePolicy, NodeScaleJSON: *nsJSON, RaceCheck: *raceCheck}
 	if *nsProcs != "" {
 		for _, f := range strings.Split(*nsProcs, ",") {
 			var p int

@@ -6,7 +6,8 @@
 //
 //	dsmrun -app SOR [-procs 8] [-threads 1] [-prefetch]
 //	       [-switch-miss] [-switch-sync] [-scale unit|small|paper]
-//	       [-protocol lrc|erc|hlrc] [-gc-threshold N]
+//	       [-protocol lrc|erc|hlrc|adp] [-home-policy static|firsttouch|migrate]
+//	       [-gc-threshold N]
 //	       [-topology single|fattree] [-fattree-radix N]
 //	       [-barrier central|tree] [-barrier-fanout N]
 //	       [-gossip] [-gossip-fanout N] [-gossip-seed N]
@@ -80,6 +81,7 @@ func main() {
 	swSync := flag.Bool("switch-sync", false, "switch threads on synchronization stalls")
 	scale := flag.String("scale", "small", "input scale: unit, small or paper")
 	protocol := flag.String("protocol", "", "coherence protocol: "+strings.Join(dsm.Protocols(), ", ")+" (default lrc)")
+	homePolicy := flag.String("home-policy", "", "hlrc page-home assignment: "+strings.Join(dsm.HomePolicies(), ", ")+" (default static)")
 	gcThreshold := flag.Int64("gc-threshold", 0, "diff-GC trigger in bytes at barriers, diff-based protocols only (0 = off)")
 	topology := flag.String("topology", "", "interconnect topology: single (default, the paper's one-switch LAN) or fattree")
 	fatTreeRadix := flag.Int("fattree-radix", 0, "fat-tree downward ports per switch, a power of two >= 2 (0 = default)")
@@ -139,6 +141,9 @@ func main() {
 	if set["race-granularity"] && !*raceCheck {
 		usageErr("-race-granularity given but -race-check is off")
 	}
+	if set["home-policy"] && *protocol != "hlrc" {
+		usageErr("-home-policy given but -protocol is not hlrc (adp keeps homes static and adapts per-page modes instead)")
+	}
 	if faultsOn && *faultSeed == 0 {
 		usageErr("-fault-seed 0 is reserved (it reads as unset); pick a nonzero seed")
 	}
@@ -165,6 +170,7 @@ func main() {
 	cfg.SwitchOnMiss = *swMiss
 	cfg.SwitchOnSync = *swSync || *threads > 1
 	cfg.Protocol = *protocol
+	cfg.HomePolicy = *homePolicy
 	cfg.GCThreshold = *gcThreshold
 	cfg.ThrottlePf = *throttle
 	cfg.Net.Topology = *topology
@@ -356,6 +362,10 @@ func printReport(app string, r *dsm.Report) {
 	if n.HomeFlushes+n.HomeFetches > 0 {
 		fmt.Printf("home:     %d diff flushes (%d KB), %d page fetches (%d KB)\n",
 			n.HomeFlushes, n.HomeFlushBytes/1024, n.HomeFetches, n.HomeFetchBytes/1024)
+	}
+	if n.HomeMigrations+n.ModeToHome+n.ModeToDiff > 0 {
+		fmt.Printf("adaptive: %d home migrations (%d KB), %d pages to home mode, %d to diff mode\n",
+			n.HomeMigrations, n.HomeMigrateBytes/1024, n.ModeToHome, n.ModeToDiff)
 	}
 	if n.Retransmits+n.Timeouts+n.AcksSent+n.DupSuppressed > 0 {
 		fmt.Printf("transport: %d retransmits (%d timeouts, max RTO %d ms), %d acks, %d duplicates suppressed, %d/%d pf req/reply dropped\n",

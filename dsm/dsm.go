@@ -138,6 +138,12 @@ func DefaultCosts() proto.Costs { return proto.DefaultCosts() }
 // selects the default, "lrc".
 func Protocols() []string { return proto.Names() }
 
+// HomePolicies returns the selectable page→home assignment policies of the
+// home-based protocol ("static", "firsttouch", "migrate"). Set one on
+// Config.HomePolicy together with Protocol "hlrc"; the empty string selects
+// "static", the paper's fixed page-mod-N assignment.
+func HomePolicies() []string { return proto.HomePolicies() }
+
 // ValidateProtocolConfig checks that cfg names a registered coherence
 // protocol and that the protocol accepts cfg's knob combination (for
 // example, HLRC has no diff GC, so it rejects a nonzero GCThreshold).

@@ -149,3 +149,43 @@ func TestThreadRange(t *testing.T) {
 		}
 	}
 }
+
+// TestHLRCLastPartialPage exercises the home-based backend's page→home
+// mapping on the shared heap's tail: a non-power-of-two cluster, an
+// allocation that ends mid-page, and a second allocation that lands in the
+// same final page (cross-allocation sharing of one partially used page).
+func TestHLRCLastPartialPage(t *testing.T) {
+	cfg := dsm.DefaultConfig()
+	cfg.Procs = 3
+	cfg.Protocol = "hlrc"
+	sys := dsm.NewSystem(cfg)
+
+	// 2 pages + one value: the array's last element is the only array byte
+	// on its page, and the counter allocated right behind it shares it.
+	const n = 2*dsm.PageSize/8 + 1
+	arr := sys.Alloc.Alloc(8*n, dsm.PageSize)
+	counter := sys.Alloc.Alloc(8, 8)
+
+	rep := sys.Run(func(e *dsm.Env) {
+		for i := e.ThreadID(); i < n; i += e.NumThreads() {
+			e.WriteF64(arr+dsm.Addr(8*i), float64(i)+0.5)
+		}
+		e.Lock(0)
+		e.WriteI64(counter, e.ReadI64(counter)+1)
+		e.Unlock(0)
+		e.Barrier(0)
+
+		for i := 0; i < n; i++ {
+			if got := e.ReadF64(arr + dsm.Addr(8*i)); got != float64(i)+0.5 {
+				panic(fmt.Sprintf("thread %d: element %d = %v", e.ThreadID(), i, got))
+			}
+		}
+		if got := e.ReadI64(counter); got != int64(e.NumThreads()) {
+			panic(fmt.Sprintf("counter = %d, want %d", got, e.NumThreads()))
+		}
+		e.Barrier(1)
+	})
+	if rep.Sum().HomeFlushes == 0 {
+		t.Fatal("no home flushes: the home-based backend did not run")
+	}
+}

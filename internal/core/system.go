@@ -22,9 +22,14 @@ type Config struct {
 	ThreadsPerProc int // user-level threads per processor (1 = original)
 
 	// Protocol names the registered coherence backend to run ("lrc",
-	// "erc", "hlrc"). Empty selects the default "lrc" — or "erc" when the
-	// legacy EagerRC ablation switch is set.
+	// "erc", "hlrc", "adp"). Empty selects the default "lrc" — or "erc"
+	// when the legacy EagerRC ablation switch is set.
 	Protocol string
+
+	// HomePolicy selects the home-based backend's page→home assignment:
+	// "static" (page mod N; the default), "firsttouch", or "migrate".
+	// Only meaningful with Protocol "hlrc"; others reject a non-empty value.
+	HomePolicy string
 
 	// SwitchOnMiss makes a thread yield the processor on a remote memory
 	// miss; SwitchOnSync does the same for remote synchronization stalls.
@@ -147,6 +152,7 @@ type System struct {
 func ProtoConfig(cfg Config) (proto.Config, error) {
 	pcfg := proto.Config{
 		Protocol:       cfg.Protocol,
+		HomePolicy:     cfg.HomePolicy,
 		ThrottlePf:     cfg.ThrottlePf,
 		GCThreshold:    cfg.GCThreshold,
 		NoTokenCache:   cfg.NoTokenCache,

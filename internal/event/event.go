@@ -93,6 +93,11 @@ const (
 	KindNetHop     // message crossed one fat-tree link (Page=link, Arg=wait)
 	KindGossipPush // gossip round pushed a notice batch (Arg=records, Aux=fanout)
 
+	// Adaptive coherence. Only dynamic home policies and the "adp" backend
+	// emit these, so static-protocol goldens are unaffected.
+	KindHomeMigrate // page's home moved here (Peer=old home, Arg=bytes moved)
+	KindModeSwitch  // page switched diff/home mode (Arg=1 to home, 0 to diff)
+
 	numKinds
 )
 
@@ -141,6 +146,8 @@ var kindNames = [numKinds]string{
 	KindHomeFetch:     "home-fetch",
 	KindNetHop:        "net-hop",
 	KindGossipPush:    "gossip-push",
+	KindHomeMigrate:   "home-migrate",
+	KindModeSwitch:    "mode-switch",
 }
 
 func (k Kind) String() string {
@@ -217,7 +224,8 @@ func (e Event) String() string {
 		KindGCBegin, KindGCFlush, KindGCDone,
 		KindXpTimeout, KindXpRetransmit, KindXpAck, KindXpDup,
 		KindThreadSwitch, KindThreadBlock, KindThreadResume,
-		KindHomeFlush, KindHomeFetch, KindNetHop, KindGossipPush:
+		KindHomeFlush, KindHomeFetch, KindNetHop, KindGossipPush,
+		KindHomeMigrate, KindModeSwitch:
 		// Node-attributed kinds all render through the generic form below.
 	default:
 		panic(fmt.Sprintf("event: String: unhandled kind %d", uint8(e.Kind)))
@@ -493,4 +501,21 @@ func NetHop(src, dst int, mk uint8, link int, wait int64) Event {
 func GossipPush(node int, round int64, records, fanout int) Event {
 	return Event{Kind: KindGossipPush, Node: int32(node), Peer: -1, Page: -1,
 		Seq: uint64(round), Arg: int64(records), Aux: int64(fanout)}
+}
+
+// HomeMigrate records node becoming the new home of page, taking over from
+// the old home; bytes is the size of the transferred base copy.
+func HomeMigrate(node, from int, page int64, bytes int) Event {
+	return Event{Kind: KindHomeMigrate, Node: int32(node), Peer: int32(from), Page: page,
+		Arg: int64(bytes)}
+}
+
+// ModeSwitch records the adaptive backend flipping page between the
+// diff-based and home-based regimes at node (toHome: the new regime).
+func ModeSwitch(node int, page int64, toHome bool) Event {
+	arg := int64(0)
+	if toHome {
+		arg = 1
+	}
+	return Event{Kind: KindModeSwitch, Node: int32(node), Peer: -1, Page: page, Arg: arg}
 }

@@ -60,7 +60,8 @@ func track(e Event) (id int, ok bool) {
 		KindGCBegin, KindGCFlush, KindGCDone,
 		KindXpTimeout, KindXpRetransmit, KindXpAck, KindXpDup,
 		KindThreadSwitch, KindThreadBlock, KindThreadResume,
-		KindHomeFlush, KindHomeFetch, KindGossipPush:
+		KindHomeFlush, KindHomeFetch, KindGossipPush,
+		KindHomeMigrate, KindModeSwitch:
 		return int(e.Node) + 1, true
 	default:
 		panic(fmt.Sprintf("event: TraceWriter: unhandled kind %d", uint8(e.Kind)))

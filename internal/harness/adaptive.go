@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"godsm/dsm"
+)
+
+// Adaptive-coherence comparison: the application grid under the diff-based
+// baseline (lrc), the home-based backend under each home policy (static,
+// firsttouch, migrate), and the adaptive backend (adp), which keeps homes
+// static but switches each page between the diff-based and home-based
+// regimes at barrier episodes. Every run verifies its output against the
+// sequential golden. The summary reports each backend's elapsed time
+// relative to lrc and, for adp, relative to the best static choice per cell
+// — the number that tells whether per-page adaptation actually recovers the
+// better of the two regimes without knowing the application in advance.
+
+// AdaptiveBackend is one column of the adaptive comparison: a display
+// label, a protocol name, and (for hlrc) a home policy.
+type AdaptiveBackend struct {
+	Label    string
+	Protocol string
+	Policy   string
+}
+
+// AdaptiveBackends lists the compared configurations, baseline first. The
+// "static" trio are the fixed choices adp is measured against; firsttouch
+// and migrate move homes but keep every page home-based.
+var AdaptiveBackends = []AdaptiveBackend{
+	{Label: "lrc", Protocol: "lrc"},
+	{Label: "hlrc", Protocol: "hlrc", Policy: "static"},
+	{Label: "hlrc/ft", Protocol: "hlrc", Policy: "firsttouch"},
+	{Label: "hlrc/mig", Protocol: "hlrc", Policy: "migrate"},
+	{Label: "adp", Protocol: "adp"},
+}
+
+// RunAdaptive runs the adaptive-coherence grid and renders per-backend
+// tables plus the relative-elapsed summary.
+func RunAdaptive(s *Session, w io.Writer) error {
+	type cell struct {
+		app string
+		v   Variant
+		b   AdaptiveBackend
+		rep *dsm.Report
+	}
+	var cells []*cell
+	idx := make(map[string]*cell)
+	for _, b := range AdaptiveBackends {
+		for _, app := range s.AppNames() {
+			for _, v := range ProtocolVariants {
+				c := &cell{app: app, v: v, b: b}
+				cells = append(cells, c)
+				idx[c.app+"/"+c.b.Label+"/"+string(c.v)] = c
+			}
+		}
+	}
+	if err := each(len(cells), func(i int) error {
+		c := cells[i]
+		rep, err := s.RunProtocolPolicy(c.app, c.v, c.b.Protocol, c.b.Policy)
+		if err != nil {
+			return err
+		}
+		c.rep = rep
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Adaptive coherence: lrc vs hlrc home policies vs per-page mode switching (adp), outputs verified against goldens")
+	for _, b := range AdaptiveBackends {
+		fmt.Fprintf(w, "\nBackend %s\n", b.Label)
+		fmt.Fprintf(w, "%-10s %-4s %10s %8s %7s %8s %8s %8s %7s %7s %7s\n",
+			"App", "Cfg", "Elapsed", "Msgs", "VolKB", "DiffAppl", "HomeFlsh", "HomeFtch", "Migr", "ToHome", "ToDiff")
+		for _, app := range s.AppNames() {
+			for _, v := range ProtocolVariants {
+				c := idx[app+"/"+b.Label+"/"+string(v)]
+				n := c.rep.Sum()
+				fmt.Fprintf(w, "%-10s %-4s %8sus %8d %7s %8d %8d %8d %7d %7d %7d\n",
+					app, v, usec(c.rep.Elapsed), c.rep.MsgsTotal, kb(c.rep.BytesTotal),
+					n.DiffsApplied, n.HomeFlushes, n.HomeFetches,
+					n.HomeMigrations, n.ModeToHome, n.ModeToDiff)
+			}
+		}
+	}
+
+	fmt.Fprintln(w, "\nElapsed time relative to lrc (ratio > 1 means slower), and adp against the best fixed backend")
+	fmt.Fprintf(w, "%-10s %-4s", "App", "Cfg")
+	for _, b := range AdaptiveBackends[1:] {
+		fmt.Fprintf(w, " %8s", b.Label)
+	}
+	fmt.Fprintf(w, " %8s\n", "adp/best")
+	for _, app := range s.AppNames() {
+		for _, v := range ProtocolVariants {
+			base := idx[app+"/lrc/"+string(v)].rep
+			fmt.Fprintf(w, "%-10s %-4s", app, v)
+			best := base.Elapsed
+			for _, b := range AdaptiveBackends[1:] {
+				rep := idx[app+"/"+b.Label+"/"+string(v)].rep
+				fmt.Fprintf(w, " %8.3f", float64(rep.Elapsed)/float64(base.Elapsed))
+				if b.Label != "adp" && rep.Elapsed < best {
+					best = rep.Elapsed
+				}
+			}
+			adp := idx[app+"/adp/"+string(v)].rep
+			fmt.Fprintf(w, " %8.3f\n", float64(adp.Elapsed)/float64(best))
+		}
+	}
+	return nil
+}
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		ID:    "adaptive",
+		Title: "Adaptive coherence: home policies and per-page diff/home switching",
+		Run:   RunAdaptive,
+	})
+}

@@ -78,6 +78,10 @@ type Options struct {
 	// ("" = the default, lrc). The protocols experiment compares all
 	// backends regardless of this option.
 	Protocol string
+	// HomePolicy selects the home-based backend's page→home assignment for
+	// every run of the session ("" = static). Meaningful only when Protocol
+	// is "hlrc"; the adaptive experiment sweeps policies regardless.
+	HomePolicy string
 	// NodeScaleProcs overrides the nodescale experiment's processor sweep
 	// (nil = NodeScaleDefaultProcs). Fat-tree routing assumes powers of two.
 	NodeScaleProcs []int
@@ -178,6 +182,7 @@ func (s *Session) Config(app string, v Variant) dsm.Config {
 		cfg.ThrottlePf = 2
 	}
 	cfg.Protocol = s.Opt.Protocol
+	cfg.HomePolicy = s.Opt.HomePolicy
 	cfg.Net.Faults = s.Opt.Faults
 	cfg.RaceCheck = s.Opt.RaceCheck
 	return cfg
@@ -202,12 +207,29 @@ func (s *Session) Run(app string, v Variant) (*dsm.Report, error) {
 // comparison is only meaningful between runs that all computed the right
 // answer). Results are cached and singleflighted like Run's.
 func (s *Session) RunProtocol(app string, v Variant, protocol string) (*dsm.Report, error) {
-	return s.cached(app+"/"+protocol+"/"+string(v)+"/verified", func() (*dsm.Report, error) {
+	return s.RunProtocolPolicy(app, v, protocol, "")
+}
+
+// RunProtocolPolicy is RunProtocol with an explicit home policy for the
+// home-based backend (empty = the protocol's default assignment). The cache
+// key includes the policy, so "hlrc" under different policies are distinct
+// runs.
+func (s *Session) RunProtocolPolicy(app string, v Variant, protocol, policy string) (*dsm.Report, error) {
+	key := app + "/" + protocol
+	if policy != "" {
+		key += "@" + policy
+	}
+	return s.cached(key+"/"+string(v)+"/verified", func() (*dsm.Report, error) {
 		cfg := s.Config(app, v)
 		cfg.Protocol = protocol
+		cfg.HomePolicy = policy
 		rep, err := s.runConfig(app, cfg, true)
 		if err != nil {
-			err = fmt.Errorf("%s/%s under %s: %w", app, v, protocol, err)
+			label := protocol
+			if policy != "" {
+				label += "/" + policy
+			}
+			err = fmt.Errorf("%s/%s under %s: %w", app, v, label, err)
 		}
 		return rep, err
 	})

@@ -20,8 +20,11 @@ import (
 // multithreading, and combined — each protocol meets every traffic shape.
 var ProtocolVariants = []Variant{VarO, VarP, Var4T, Var4TP}
 
-// ProtocolNames lists the compared protocols, baseline first.
-var ProtocolNames = []string{"lrc", "erc", "hlrc"}
+// ProtocolNames lists the compared protocols, baseline first. The adaptive
+// backend rides along so the comparison, the race-checked grid, and the
+// machine-scaling sweep all cover it; its per-policy grid is the separate
+// "adaptive" experiment.
+var ProtocolNames = []string{"lrc", "erc", "hlrc", "adp"}
 
 // RunProtocols runs the protocol-comparison grid and renders per-protocol
 // tables plus a cross-protocol elapsed-time summary. The traffic columns

@@ -10,8 +10,9 @@ import (
 // barrierState lives on the barrier manager (node 0).
 type barrierState struct {
 	arrived    int
-	arrivalVCs []lrc.VC // by node
-	releases   []func() // manager-local continuations
+	arrivalVCs []lrc.VC  // by node
+	releases   []func()  // manager-local continuations
+	acc        []PageAcc // piggybacked access counters (dynamic policies only)
 	mgrStart   sim.Time
 	gcWant     bool // some arrival exceeded the GC threshold
 }
@@ -30,25 +31,26 @@ func (sm *syncManager) Barrier(id int, onRelease func()) {
 	n.ownSinceBarrier = nil
 	n.bus.Emit(event.BarArrive(n.ID, id))
 
+	acc := n.episodeAcc()
 	if n.ID == 0 {
 		// The manager consults the GC policy for its own storage figure;
 		// remote arrivals report raw diff bytes on the wire.
 		sm.barrier.mgrStart = n.K.Now()
 		sm.barrier.releases = append(sm.barrier.releases, onRelease)
 		sm.barArrive(&msgBarArrive{Barrier: id, From: 0, VC: n.vc.Clone(), Ivs: own,
-			DiffBytes: n.gc.ReportBytes()})
+			DiffBytes: n.gc.ReportBytes(), Acc: acc})
 		return
 	}
 
 	sm.barStart = n.K.Now()
 	sm.barWait = onRelease
-	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(own, n.N)
+	size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(own, n.N) + accWireSize(acc)
 	done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
 	n.sendAfter(done, &netsim.Message{
 		Src: netsim.NodeID(n.ID), Dst: 0,
 		Size: size, Reliable: true, Kind: KindBarArrive,
 		Payload: &msgBarArrive{Barrier: id, From: n.ID, VC: n.vc.Clone(), Ivs: own,
-			DiffBytes: n.diffBytes},
+			DiffBytes: n.diffBytes, Acc: acc},
 	})
 }
 
@@ -66,6 +68,7 @@ func (sm *syncManager) barArrive(a *msgBarArrive) {
 		n.invariantf("duplicate barrier arrival from %d", a.From)
 	}
 	b.arrivalVCs[a.From] = a.VC.Clone()
+	b.acc = append(b.acc, a.Acc...)
 	if n.gc.Exceeds(a.DiffBytes) {
 		b.gcWant = true
 	}
@@ -88,6 +91,7 @@ func (sm *syncManager) barArrive(a *msgBarArrive) {
 	n.flushDeferred()
 	n.checkContiguity()
 	n.gossipCover(n.vc)
+	moves := n.decideMoves(b.acc)
 
 	// Everyone is here: release. Each node gets the intervals it lacks
 	// (per its arrival VC), excluding its own.
@@ -98,20 +102,23 @@ func (sm *syncManager) barArrive(a *msgBarArrive) {
 	b.arrived = 0
 	b.arrivalVCs = nil
 	b.releases = nil
+	b.acc = nil
 	b.gcWant = false
 
 	for q := 1; q < n.N; q++ {
 		ivs := n.missingIvs(arrivalVCs[q], q)
-		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
+		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N) + movesWireSize(moves)
 		cost += n.C.MsgSend
 		done := n.CPU.Service(cost, sim.CatDSM)
 		cost = 0
 		n.sendAfter(done, &netsim.Message{
 			Src: 0, Dst: netsim.NodeID(q),
 			Size: size, Reliable: true, Kind: KindBarRelease,
-			Payload: &msgBarRelease{Barrier: a.Barrier, VC: n.vc.Clone(), Ivs: ivs, GC: gc},
+			Payload: &msgBarRelease{Barrier: a.Barrier, VC: n.vc.Clone(), Ivs: ivs, GC: gc,
+				Moves: moves},
 		})
 	}
+	n.applyMoves(moves)
 	done := n.CPU.Service(cost, sim.CatDSM)
 	n.bus.Emit(event.BarRelease(n.ID, a.Barrier, done-mgrStart))
 	resume := func() {
@@ -131,6 +138,7 @@ func (sm *syncManager) handleBarRelease(r *msgBarRelease) {
 	n := sm.n
 	cost := n.intake(r.Ivs, r.VC)
 	n.gossipCover(r.VC)
+	n.applyMoves(r.Moves)
 	done := n.CPU.Service(cost, sim.CatDSM)
 	n.bus.Emit(event.BarRelease(n.ID, r.Barrier, done-sm.barStart))
 	cb := sm.barWait

@@ -51,6 +51,7 @@ type treeBarrier struct {
 	childMn []lrc.VC // per child slot: subtree min VC
 	arrived int
 	accIvs  []*lrc.Interval // subtree records accumulated for the up-message
+	accAcc  []PageAcc       // subtree access counters (dynamic policies only)
 	gcWant  bool
 	start   sim.Time // when the local thread arrived (stall metric origin)
 	wait    func()   // local continuation
@@ -95,19 +96,20 @@ func (tb *treeBarrier) Barrier(id int, onRelease func()) {
 	tb.start = n.K.Now()
 	tb.wait = onRelease
 
+	acc := n.episodeAcc()
 	if len(tb.children) == 0 && n.ID != 0 {
-		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(own, n.N)
+		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(own, n.N) + accWireSize(acc)
 		done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
 		n.sendAfter(done, &netsim.Message{
 			Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(tb.parent),
 			Size: size, Reliable: true, Kind: KindBarArrive,
 			Payload: &msgBarArrive{Barrier: id, From: n.ID, VC: n.vc.Clone(), Ivs: own,
-				DiffBytes: n.diffBytes},
+				DiffBytes: n.diffBytes, Acc: acc},
 		})
 		return
 	}
 	tb.arrive(&msgBarArrive{Barrier: id, From: n.ID, VC: n.vc.Clone(), Ivs: own,
-		DiffBytes: n.gc.ReportBytes()})
+		DiffBytes: n.gc.ReportBytes(), Acc: acc})
 }
 
 // arrive folds one arrival (the local thread's or a child subtree's) into
@@ -159,6 +161,7 @@ func (tb *treeBarrier) arrive(a *msgBarArrive) {
 		cost += n.recordDeferred(iv)
 	}
 	tb.accIvs = append(tb.accIvs, a.Ivs...)
+	tb.accAcc = append(tb.accAcc, a.Acc...)
 	tb.arrived++
 	if tb.arrived < len(tb.children)+1 {
 		n.CPU.Service(cost, sim.CatDSM)
@@ -180,6 +183,7 @@ func (tb *treeBarrier) reset() (childVC, childMn []lrc.VC) {
 	tb.selfVC = nil
 	tb.arrived = 0
 	tb.accIvs = nil
+	tb.accAcc = nil
 	return childVC, childMn
 }
 
@@ -197,6 +201,7 @@ func (tb *treeBarrier) rootComplete(cost sim.Time) {
 	n.flushDeferred()
 	n.checkContiguity()
 	n.gossipCover(n.vc)
+	moves := n.decideMoves(tb.accAcc)
 
 	id := tb.barID
 	gc := tb.gcWant
@@ -213,16 +218,18 @@ func (tb *treeBarrier) rootComplete(cost sim.Time) {
 		} else {
 			ivs = n.missingIvs(childMn[i], -1)
 		}
-		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
+		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N) + movesWireSize(moves)
 		cost += n.C.MsgSend
 		done := n.CPU.Service(cost, sim.CatDSM)
 		cost = 0
 		n.sendAfter(done, &netsim.Message{
 			Src: 0, Dst: netsim.NodeID(c),
 			Size: size, Reliable: true, Kind: KindBarRelease,
-			Payload: &msgBarRelease{Barrier: id, VC: n.vc.Clone(), Ivs: ivs, GC: gc},
+			Payload: &msgBarRelease{Barrier: id, VC: n.vc.Clone(), Ivs: ivs, GC: gc,
+				Moves: moves},
 		})
 	}
+	n.applyMoves(moves)
 	done := n.CPU.Service(cost, sim.CatDSM)
 	n.bus.Emit(event.BarRelease(n.ID, id, done-start))
 	if gc {
@@ -247,17 +254,18 @@ func (tb *treeBarrier) sendUp(cost sim.Time) {
 	id := tb.barID
 	gcw := tb.gcWant
 	ivs := tb.accIvs
+	acc := tb.accAcc
 	_, childMn := tb.reset()
 	tb.relMin = childMn
 
-	size := n.C.HeaderBytes + 8 + 8*n.N + n.C.ivsWireSize(ivs, n.N)
+	size := n.C.HeaderBytes + 8 + 8*n.N + n.C.ivsWireSize(ivs, n.N) + accWireSize(acc)
 	cost += n.C.MsgSend
 	done := n.CPU.Service(cost, sim.CatDSM)
 	n.sendAfter(done, &netsim.Message{
 		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(tb.parent),
 		Size: size, Reliable: true, Kind: KindBarArrive,
 		Payload: &msgBarArrive{Barrier: id, From: n.ID, VC: maxVC, Ivs: ivs,
-			MinVC: minVC, GCWant: gcw},
+			MinVC: minVC, GCWant: gcw, Acc: acc},
 	})
 }
 
@@ -285,16 +293,18 @@ func (tb *treeBarrier) handleRelease(r *msgBarRelease) {
 		} else {
 			ivs = n.missingIvs(relMin[i], -1)
 		}
-		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N)
+		size := n.C.HeaderBytes + 4*n.N + n.C.ivsWireSize(ivs, n.N) + movesWireSize(r.Moves)
 		cost += n.C.MsgSend
 		done := n.CPU.Service(cost, sim.CatDSM)
 		cost = 0
 		n.sendAfter(done, &netsim.Message{
 			Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(c),
 			Size: size, Reliable: true, Kind: KindBarRelease,
-			Payload: &msgBarRelease{Barrier: r.Barrier, VC: n.vc.Clone(), Ivs: ivs, GC: r.GC},
+			Payload: &msgBarRelease{Barrier: r.Barrier, VC: n.vc.Clone(), Ivs: ivs, GC: r.GC,
+				Moves: r.Moves},
 		})
 	}
+	n.applyMoves(r.Moves)
 	done := n.CPU.Service(cost, sim.CatDSM)
 	n.bus.Emit(event.BarRelease(n.ID, r.Barrier, done-tb.start))
 	cb := tb.wait

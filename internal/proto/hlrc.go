@@ -57,6 +57,18 @@ type hlrcCoherence struct {
 	pf         *hlrcPrefetcher
 	pfReliable bool
 
+	// Home assignment: the table replica plus the policy that moves it.
+	// dyn enables the dynamic machinery (counters, transfers, the notice
+	// filter); false keeps the engine byte-identical to fixed mod-N homes.
+	// track enables per-page access counting for the barrier arrivals (off
+	// when this instance is embedded in the adaptive backend, which counts
+	// at its own layer).
+	homes  *homeTable
+	policy HomePolicy
+	dyn    bool
+	track  bool
+	acc    *accSet
+
 	// Home-side: applied[p][q] is the highest flushed interval sequence of
 	// writer q applied to this node's frame of home page p.
 	applied map[pagemem.PageID]lrc.VC
@@ -67,9 +79,15 @@ type hlrcCoherence struct {
 	// Requester-side: every interval id already requested from the home
 	// for the page's in-flight fetch (grows across re-requests).
 	asked map[pagemem.PageID]map[lrc.IntervalID]bool
+
+	// Dynamic-policy state (nil map reads are safe, so these stay nil under
+	// the static policy): pages whose home base has not been installed here
+	// yet, and pages this node was home for and transferred away.
+	xin  map[pagemem.PageID]*xferIn
+	away map[pagemem.PageID]bool
 }
 
-func (c *hlrcCoherence) home(p pagemem.PageID) int { return int(p) % c.n.N }
+func (c *hlrcCoherence) home(p pagemem.PageID) int { return c.homes.home(p) }
 
 // covered reports (at the home) whether interval id's writes to page p are
 // already in the local frame. The home's own intervals are always covered:
@@ -90,38 +108,53 @@ func (c *hlrcCoherence) AfterClose(iv *lrc.Interval) {
 	n := c.n
 	var cost sim.Time
 	for _, p := range iv.Pages {
-		ps := n.page(p)
-		if !ps.twinned {
-			n.pageInvariantf(p, "interval page %d lost its twin before the flush", p)
-		}
-		d := pagemem.MakeDiff(p, n.Store.Twin(p), n.Store.Frame(p))
-		db := 0
-		if d != nil {
-			db = d.DataBytes()
-		}
-		n.bus.Emit(event.DiffMake(n.ID, int64(p), db))
-		cost += n.C.DiffMake + sim.Time(n.C.DiffScanNs*float64(pagemem.PageSize))
-		n.Store.DropTwin(p)
-		ps.twinned = false
-		ps.hasUndiffed = false
-		home := c.home(p)
-		if home == n.ID {
-			continue
-		}
-		n.bus.Emit(event.HomeFlush(n.ID, home, int64(p), db))
-		cost += n.C.MsgSend
-		done := n.CPU.Service(cost, sim.CatDSM)
-		cost = 0
-		n.sendAfter(done, &netsim.Message{
-			Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(home),
-			Size:     n.C.HeaderBytes + 20 + d.WireSize(),
-			Reliable: true, Kind: KindHomeFlush,
-			Payload: &msgHomeFlush{From: n.ID, ID: iv.ID, Page: p, Diff: d},
-		})
+		cost = c.flushPage(iv.ID, p, cost)
 	}
 	if cost > 0 {
 		n.CPU.Service(cost, sim.CatDSM)
 	}
+}
+
+// flushPage diffs one just-closed page and flushes it to its home. cost is
+// the running CPU charge accumulated by the caller; sends drain it and the
+// remainder is returned for the caller to charge.
+func (c *hlrcCoherence) flushPage(id lrc.IntervalID, p pagemem.PageID, cost sim.Time) sim.Time {
+	n := c.n
+	ps := n.page(p)
+	if !ps.twinned {
+		n.pageInvariantf(p, "interval page %d lost its twin before the flush", p)
+	}
+	d := pagemem.MakeDiff(p, n.Store.Twin(p), n.Store.Frame(p))
+	db := 0
+	if d != nil {
+		db = d.DataBytes()
+	}
+	n.bus.Emit(event.DiffMake(n.ID, int64(p), db))
+	cost += n.C.DiffMake + sim.Time(n.C.DiffScanNs*float64(pagemem.PageSize))
+	n.Store.DropTwin(p)
+	ps.twinned = false
+	ps.hasUndiffed = false
+	if c.track {
+		cl := c.acc.cell(p)
+		cl.writes++
+	}
+	home := c.home(p)
+	if home == n.ID {
+		if st := c.xin[p]; st != nil && !st.fill {
+			// Our base is in flight here: the install would clobber these
+			// writes, so route them through the buffered-flush replay.
+			st.buf = append(st.buf, &msgHomeFlush{From: n.ID, ID: id, Page: p, Diff: d})
+		}
+		return cost
+	}
+	if c.track {
+		c.acc.cells[p].bytes += int64(db)
+	}
+	n.bus.Emit(event.HomeFlush(n.ID, home, int64(p), db))
+	cost += n.C.MsgSend
+	done := n.CPU.Service(cost, sim.CatDSM)
+	n.sendAfter(done, c.flushMsg(home, &msgHomeFlush{From: n.ID, ID: id, Page: p, Diff: d}))
+	return 0
 }
 
 // Handle dispatches the home-based coherence messages.
@@ -133,6 +166,8 @@ func (c *hlrcCoherence) Handle(m *netsim.Message) bool {
 		c.handlePageReq(pl)
 	case *msgPageReply:
 		c.handlePageReply(pl)
+	case *msgHomeXfer:
+		c.handleHomeXfer(pl)
 	default:
 		return false
 	}

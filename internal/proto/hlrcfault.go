@@ -28,6 +28,9 @@ func (c *hlrcCoherence) Fault(p pagemem.PageID, onValid func()) {
 	ps := n.page(p)
 	pfst := n.pf[p]
 	delete(n.pf, p)
+	if c.track {
+		c.acc.cell(p).faults++
+	}
 
 	if c.home(p) == n.ID {
 		c.homeFault(p, ps, onValid)
@@ -81,6 +84,9 @@ func (c *hlrcCoherence) Fault(p pagemem.PageID, onValid func()) {
 	}
 	n.fetches[p] = f
 	c.asked[p] = asked
+	if c.track {
+		c.acc.cell(p).msgs++
+	}
 	done := n.CPU.Service(n.C.FaultEntry+n.C.MsgSend, sim.CatDSM)
 	n.sendAfter(done, &netsim.Message{
 		Src: netsim.NodeID(n.ID), Dst: netsim.NodeID(c.home(p)),
@@ -158,6 +164,9 @@ func (c *hlrcCoherence) handlePageReply(rep *msgPageReply) {
 		for _, id := range fresh {
 			f.needed[id] = true
 			asked[id] = true
+		}
+		if c.track {
+			c.acc.cell(rep.Page).msgs++
 		}
 		done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
 		n.sendAfter(done, &netsim.Message{

@@ -18,7 +18,25 @@ import (
 // transport) are dropped by the sequence guard.
 func (c *hlrcCoherence) handleHomeFlush(fl *msgHomeFlush) {
 	n := c.n
+	if st := c.xin[fl.Page]; st != nil {
+		// Our base is still in flight: buffer until the install replays us.
+		st.buf = append(st.buf, fl)
+		return
+	}
 	if c.home(fl.Page) != n.ID {
+		if c.dyn {
+			if c.away[fl.Page] {
+				// Late flush for a page transferred away: relay it.
+				done := n.CPU.Service(n.C.MsgSend, sim.CatDSM)
+				n.sendAfter(done, c.flushMsg(c.home(fl.Page), fl))
+				return
+			}
+			// The writer's release (naming us the new home) outran ours:
+			// start buffering; our own release completes the picture.
+			st := &xferIn{buf: []*msgHomeFlush{fl}}
+			c.xin[fl.Page] = st
+			return
+		}
 		n.pageInvariantf(fl.Page, "node %d got a home flush for page %d homed at %d",
 			n.ID, fl.Page, c.home(fl.Page))
 	}
@@ -86,7 +104,9 @@ func anyUncovered(c *hlrcCoherence, p pagemem.PageID, ids []lrc.IntervalID) bool
 func (c *hlrcCoherence) completeHomeFetch(p pagemem.PageID, done sim.Time) {
 	n := c.n
 	f, ok := n.fetches[p]
-	if !ok {
+	if !ok || f.hybrid || f.fill {
+		// The adaptive backend's hybrid fetches and fills track needs the
+		// coverage rule here would misread; adp.go owns their completion.
 		return
 	}
 	for id := range f.needed {
@@ -124,8 +144,27 @@ func (c *hlrcCoherence) completeHomeFetch(p pagemem.PageID, done sim.Time) {
 // requests are answered immediately with whatever is covered now.
 func (c *hlrcCoherence) handlePageReq(req *msgPageReq) {
 	n := c.n
-	if c.home(req.Page) != n.ID {
-		n.pageInvariantf(req.Page, "node %d got a page request for page %d homed at %d",
+	if c.home(req.Page) != n.ID || c.xin[req.Page] != nil {
+		if !c.dyn && c.xin[req.Page] == nil {
+			n.pageInvariantf(req.Page, "node %d got a page request for page %d homed at %d",
+				n.ID, req.Page, c.home(req.Page))
+		}
+		if req.Prefetch {
+			// An in-flight prefetch can target a stale home (or a home-elect
+			// whose base has not landed). This frame is not the live home
+			// copy, so claim nothing: the requester's cache check
+			// (pending ⊆ covers) can never accept the entry for an invalid
+			// page, which keeps stale data from regressing a newer frame.
+			c.replyPage(req, nil)
+			return
+		}
+		if c.xin[req.Page] != nil {
+			// Demand request from a node whose release (like ours) named us
+			// the home: park until the base installs.
+			c.parked[req.Page] = append(c.parked[req.Page], req)
+			return
+		}
+		n.pageInvariantf(req.Page, "node %d got a demand page request for page %d homed at %d",
 			n.ID, req.Page, c.home(req.Page))
 	}
 	if req.Prefetch {

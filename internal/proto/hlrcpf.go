@@ -42,6 +42,10 @@ func (pf *hlrcPrefetcher) take(p pagemem.PageID) *pfPage {
 	return pg
 }
 
+// drop discards any cached copy of p: a home move or mode switch makes the
+// snapshot's covers untrustworthy for the new era.
+func (pf *hlrcPrefetcher) drop(p pagemem.PageID) { pf.take(p) }
+
 // cacheReply stores an arriving prefetch reply. Duplicates (the lossy path
 // can retransmit nothing, but a fault plan can duplicate) merge into the
 // existing entry without double-counting the heap.
@@ -57,6 +61,13 @@ func (pf *hlrcPrefetcher) cacheReply(rep *msgPageReply) {
 		n.pfHeap += pagemem.PageSize
 	}
 	pg.data = append(pg.data[:0], rep.Data...)
+	if pf.coh.dyn {
+		// Under a dynamic home policy successive replies can come from
+		// different servers (the home moved mid-flight), so a union of
+		// covers could claim intervals the latest data does not contain.
+		// Keep each entry a self-consistent (data, covers) pair instead.
+		pg.covers = make(map[lrc.IntervalID]bool, len(rep.Covers))
+	}
 	for _, id := range rep.Covers {
 		pg.covers[id] = true
 	}

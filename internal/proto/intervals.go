@@ -76,9 +76,15 @@ func (n *Node) recordInterval(iv *lrc.Interval) sim.Time {
 	return n.C.NoticeProc * sim.Time(1+len(iv.Pages))
 }
 
-// invalidate marks iv's pages pending at this node.
+// invalidate marks iv's pages pending at this node. The coherence policy's
+// notice filter can prove a notice's data is already in the local frame (a
+// home whose applied vector covers the flushed interval) and suppress the
+// invalidation; static backends filter nothing.
 func (n *Node) invalidate(iv *lrc.Interval) {
 	for _, p := range iv.Pages {
+		if n.nf != nil && n.nf.filterNotice(p, iv.ID) {
+			continue
+		}
 		ps := n.page(p)
 		ps.pending = append(ps.pending, iv.ID)
 	}

@@ -26,7 +26,8 @@ const (
 	KindHomeFlush
 	KindPageReq
 	KindPageReply
-	KindGossip // batched write-notice gossip round (gossip.go)
+	KindGossip   // batched write-notice gossip round (gossip.go)
+	KindHomeXfer // base page transfer to a migrated home (homemigrate.go)
 	numKinds
 )
 
@@ -71,6 +72,8 @@ func KindName(k netsim.Kind) string {
 		return "page-reply"
 	case KindGossip:
 		return "gossip"
+	case KindHomeXfer:
+		return "home-xfer"
 	default:
 		configInvariantf("KindName: unknown message kind %d", int(k))
 		return ""
@@ -145,6 +148,11 @@ type msgBarArrive struct {
 	DiffBytes int64  // local diff-storage size, for the GC trigger
 	MinVC     lrc.VC // combining tree only: min over the subtree's arrival VCs
 	GCWant    bool   // combining tree only: some subtree member tripped the GC trigger
+
+	// Acc carries the arriver's (or, on the tree, the subtree's) per-page
+	// access counters when a dynamic home policy or the adaptive backend
+	// runs; nil otherwise, adding nothing to the wire size.
+	Acc []PageAcc
 }
 
 // msgBarRelease releases a barrier, carrying the merged vector time and the
@@ -154,6 +162,12 @@ type msgBarRelease struct {
 	VC      lrc.VC
 	Ivs     []*lrc.Interval
 	GC      bool // a global diff garbage collection runs before resuming
+
+	// Moves carries the root's home-move / mode-switch decisions for this
+	// episode; every node applies them before resuming its threads, which
+	// keeps the home-table replicas in lockstep. Nil when no dynamic policy
+	// runs (zero wire bytes).
+	Moves []HomeMove
 }
 
 // ivsWireSize estimates the on-wire size of a batch of interval records.

@@ -7,8 +7,10 @@
 //
 // Registered backends: "lrc" (TreadMarks-style lazy release consistency,
 // the default), "erc" (eager release consistency: notices broadcast at
-// every release), and "hlrc" (home-based LRC: diffs flushed to per-page
-// homes at release, whole-page fetches at fault time, no diff GC).
+// every release), "hlrc" (home-based LRC: diffs flushed to per-page homes at
+// release, whole-page fetches at fault time, no diff GC), and "adp"
+// (adaptive: per-page switching between the diff-based and home-based
+// regimes, driven by access counters at barrier episodes).
 //
 // File ownership:
 //
@@ -28,6 +30,9 @@
 //	hlrchome.go   hlrc home side: flush apply, parked requests, page serve
 //	hlrcfault.go  hlrc requester side: whole-page fetch, home-local faults
 //	hlrcpf.go     hlrcPrefetcher: whole-page prefetch cache
+//	homepolicy.go pluggable page→home policies, episode access counters
+//	homemigrate.go home-base transfers and late-flush forwarding (dynamic)
+//	adp.go        adpCoherence: per-page diff/home mode switching
 //	messages.go   wire message kinds and payload types
 //	costs.go      CPU cost model and the sanctioned send choke points
 //	transport.go  reliable ack/retransmit transport (fault injection)
@@ -69,6 +74,10 @@ type Node struct {
 	pfr  Prefetcher
 	sync SyncManager
 	gc   DiffGC
+
+	// nf is coh's write-notice filter, cached to keep the intake path's
+	// type assertion out of the per-notice loop; nil when coh has none.
+	nf noticeFilter
 
 	// Lazy release consistency state.
 	vc  lrc.VC
@@ -134,6 +143,18 @@ type fetch struct {
 	needed  map[lrc.IntervalID]bool
 	waiters []func()
 	start   sim.Time
+
+	// Adaptive-backend state (zero elsewhere): the whole-page snapshot a
+	// hybrid fetch installs before its diffs, whether this fetch combines a
+	// home copy with diff requests, and whether it is a home-elect's local
+	// diff fill (adp.go). A fill carries the switch-time VC its frame must
+	// cover, plus the previous home->diff switch VC that separates flush-era
+	// pendings (resolved by flushes) from diff-era ones (fetched as diffs).
+	pageData []byte
+	hybrid   bool
+	fill     bool
+	fillVC   lrc.VC
+	fillEx   lrc.VC
 }
 
 type pfState struct {
@@ -180,6 +201,9 @@ func NewNode(id, n int, k *sim.Kernel, cpu *sim.CPU, c *Costs, cfg Config) *Node
 	nd.pfr = sub.Prefetch
 	nd.sync = sub.Sync
 	nd.gc = sub.GC
+	if f, ok := nd.coh.(noticeFilter); ok {
+		nd.nf = f
+	}
 	return nd
 }
 

@@ -12,9 +12,18 @@ import (
 // engine with every knob off. A Config is validated once (ValidateConfig)
 // and then used to build one Subsystems set per node.
 type Config struct {
-	// Protocol names a registered backend ("lrc", "erc", "hlrc"); empty
-	// selects the default "lrc". Lookup lists the registered names.
+	// Protocol names a registered backend ("lrc", "erc", "hlrc", "adp");
+	// empty selects the default "lrc". Lookup lists the registered names.
 	Protocol string
+
+	// HomePolicy selects the page→home assignment policy of the home-based
+	// backend: "static" (fixed page mod N; empty selects it, keeping the
+	// default path byte-identical), "firsttouch" (a page's home is fixed at
+	// the node that first shows traffic on it), or "migrate" (homes follow
+	// the dominant accessor across barrier episodes). Only meaningful for
+	// "hlrc"; the other backends reject a non-empty value ("adp" keeps
+	// homes static and adapts the per-page protocol mode instead).
+	HomePolicy string
 
 	// ThrottlePf > 0 drops every ThrottlePf-th prefetch at issue time
 	// (Section 5.1's RADIX optimization).

@@ -101,22 +101,39 @@ func validateCommon(cfg Config) error {
 	return nil
 }
 
+// rejectHomePolicy is the validation shared by every backend without
+// pluggable homes.
+func rejectHomePolicy(proto string, cfg Config) error {
+	if cfg.HomePolicy != "" {
+		return fmt.Errorf("protocol %s has no home assignment; HomePolicy must be empty, got %q", proto, cfg.HomePolicy)
+	}
+	return nil
+}
+
 func init() {
 	Register(&Backend{
-		Name:  "lrc",
-		Doc:   "TreadMarks-style lazy release consistency: distributed diff fetch at fault time, diff GC at barriers",
-		Build: buildDiffBased(false),
+		Name:     "lrc",
+		Doc:      "TreadMarks-style lazy release consistency: distributed diff fetch at fault time, diff GC at barriers",
+		Validate: func(cfg Config) error { return rejectHomePolicy("lrc", cfg) },
+		Build:    buildDiffBased(false),
 	})
 	Register(&Backend{
-		Name:  "erc",
-		Doc:   "eager release consistency (Munin-style): write notices broadcast at every release; data still moves as lazy diffs",
-		Build: buildDiffBased(true),
+		Name:     "erc",
+		Doc:      "eager release consistency (Munin-style): write notices broadcast at every release; data still moves as lazy diffs",
+		Validate: func(cfg Config) error { return rejectHomePolicy("erc", cfg) },
+		Build:    buildDiffBased(true),
 	})
 	Register(&Backend{
 		Name:     "hlrc",
 		Doc:      "home-based LRC: writers flush diffs to each page's home at release; faults fetch the whole page from home; no diff GC",
 		Validate: validateHLRC,
 		Build:    buildHLRC,
+	})
+	Register(&Backend{
+		Name:     "adp",
+		Doc:      "adaptive coherence: per-page switching between diff-based (lrc) and home-based (hlrc) regimes at barrier episodes",
+		Validate: validateADP,
+		Build:    buildADP,
 	})
 }
 
@@ -147,21 +164,44 @@ func validateHLRC(cfg Config) error {
 	if cfg.Gossip {
 		return fmt.Errorf("protocol hlrc distributes notices through page homes; Gossip does not apply")
 	}
+	if _, err := newHomePolicy(cfg.HomePolicy); err != nil {
+		return err
+	}
 	return nil
 }
 
-func buildHLRC(n *Node, cfg Config) Subsystems {
+// newHLRC builds the home-based coherence pair. The adaptive backend embeds
+// one with the static policy and tracking off (it counts at its own layer).
+func newHLRC(n *Node, cfg Config, policy HomePolicy) (*hlrcCoherence, *hlrcPrefetcher) {
 	pf := &hlrcPrefetcher{
 		n: n, throttle: cfg.ThrottlePf, reliable: cfg.PfReliable,
 		cache: make(map[pagemem.PageID]*pfPage),
 	}
 	coh := &hlrcCoherence{
 		n: n, pf: pf, pfReliable: cfg.PfReliable,
+		homes:   newHomeTable(n.N),
+		policy:  policy,
+		dyn:     policy.Dynamic(),
 		applied: make(map[pagemem.PageID]lrc.VC),
 		parked:  make(map[pagemem.PageID][]*msgPageReq),
 		asked:   make(map[pagemem.PageID]map[lrc.IntervalID]bool),
 	}
+	if coh.dyn {
+		coh.track = true
+		coh.acc = newAccSet()
+		coh.xin = make(map[pagemem.PageID]*xferIn)
+		coh.away = make(map[pagemem.PageID]bool)
+	}
 	pf.coh = coh
+	return coh, pf
+}
+
+func buildHLRC(n *Node, cfg Config) Subsystems {
+	policy, err := newHomePolicy(cfg.HomePolicy)
+	if err != nil {
+		configInvariantf("proto: %v", err)
+	}
+	coh, pf := newHLRC(n, cfg, policy)
 	return Subsystems{
 		Coherence: coh,
 		Prefetch:  pf,

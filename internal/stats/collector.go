@@ -97,6 +97,15 @@ func (c *Collector) Event(e event.Event) {
 	case event.KindGossipPush:
 		n.GossipRounds++
 		n.GossipNotices += e.Arg
+	case event.KindHomeMigrate:
+		n.HomeMigrations++
+		n.HomeMigrateBytes += e.Arg
+	case event.KindModeSwitch:
+		if e.Arg != 0 {
+			n.ModeToHome++
+		} else {
+			n.ModeToDiff++
+		}
 	case event.KindThreadSwitch:
 		n.CtxSwitches++
 	case event.KindThreadBlock:

@@ -76,6 +76,14 @@ type Node struct {
 	// Gossip write-notice dissemination (only nonzero with the Gossip knob).
 	GossipRounds  int64 // gossip rounds fired (one batch push per round)
 	GossipNotices int64 // interval records pushed, summed over rounds
+
+	// Adaptive coherence (only nonzero under a dynamic home policy or the
+	// "adp" backend): home migrations landing at this node, and per-page
+	// regime switches decided at this node's barrier episodes.
+	HomeMigrations   int64
+	HomeMigrateBytes int64
+	ModeToHome       int64 // pages switched diff -> home
+	ModeToDiff       int64 // pages switched home -> diff
 }
 
 // StallEvents returns the number of stall events (memory + sync).
@@ -189,6 +197,10 @@ func (r *Report) Sum() Node {
 		}
 		t.GossipRounds += n.GossipRounds
 		t.GossipNotices += n.GossipNotices
+		t.HomeMigrations += n.HomeMigrations
+		t.HomeMigrateBytes += n.HomeMigrateBytes
+		t.ModeToHome += n.ModeToHome
+		t.ModeToDiff += n.ModeToDiff
 	}
 	return t
 }
